@@ -1,0 +1,170 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// replication factor, ZLog stripe width, monitor gossip fanout, Paxos
+// proposal batching, and script-vs-native class dispatch.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mds"
+	"repro/internal/wire"
+	"repro/internal/zlog"
+)
+
+// BenchmarkAblationReplication sweeps the pool replication factor: each
+// extra replica adds one primary-to-replica round trip per write.
+func BenchmarkAblationReplication(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3} {
+		replicas := replicas
+		b.Run(fmt.Sprintf("r%d", replicas), func(b *testing.B) {
+			cluster := bootB(b, core.Options{
+				OSDs: 3, Pools: []string{"data"}, Replicas: replicas,
+			})
+			ctx := context.Background()
+			rc := cluster.NewRadosClient("client.bench")
+			if err := rc.RefreshMap(ctx); err != nil {
+				b.Fatal(err)
+			}
+			payload := []byte("sixteen-byte-pay")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rc.WriteFull(ctx, "data", fmt.Sprintf("o%d", i%64), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStripeWidth sweeps ZLog's stripe width: wider
+// stripes spread append load over more objects (and PG locks).
+func BenchmarkAblationStripeWidth(b *testing.B) {
+	for _, width := range []int{1, 4, 16} {
+		width := width
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			cluster := bootB(b, core.Options{
+				MDSs: 1, OSDs: 3, Pools: []string{"zlog"}, Replicas: 2,
+			})
+			ctx := context.Background()
+			l, err := zlog.Open(ctx, cluster.Net, "client.bench", cluster.MonIDs(), zlog.Options{
+				Name: "bench", Pool: "zlog", Width: width,
+				SeqPolicy: mds.CapPolicy{Cacheable: true, Quota: 1000, Delay: time.Second},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(l.Close)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(ctx, []byte("entry")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProposalBatching sweeps the monitor's proposal
+// interval under concurrent submitters: longer intervals batch more
+// updates per Paxos round (higher latency, fewer rounds).
+func BenchmarkAblationProposalBatching(b *testing.B) {
+	for _, interval := range []time.Duration{2 * time.Millisecond, 20 * time.Millisecond} {
+		interval := interval
+		b.Run(interval.String(), func(b *testing.B) {
+			cluster := bootB(b, core.Options{
+				Mons: 3, OSDs: 2, ProposalInterval: interval,
+			})
+			ctx := context.Background()
+			monc := cluster.NewMonClient("client.bench")
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := monc.SetService(ctx, "osd", "k", fmt.Sprint(i)); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationClassDispatch compares native (compiled-in) versus
+// script (interpreted, map-distributed) class method dispatch — the
+// cost of the paper's programmability.
+func BenchmarkAblationClassDispatch(b *testing.B) {
+	cluster := bootB(b, core.Options{OSDs: 2, Pools: []string{"data"}, Replicas: 1})
+	ctx := context.Background()
+	rc := cluster.NewRadosClient("client.bench")
+	monc := cluster.NewMonClient("client.bench.mon")
+	// Script twin of the native counter class.
+	script := `
+function incr(cls)
+	local v = tonumber(cls.omap_get("n")) or 0
+	cls.omap_set("n", tostring(v + 1))
+	return tostring(v + 1)
+end
+`
+	if err := monc.InstallClass(ctx, "scounter", script, "metadata"); err != nil {
+		b.Fatal(err)
+	}
+	if err := rc.RefreshMap(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rc.Call(ctx, "data", "n", "counter", "incr", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("script", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rc.Call(ctx, "data", "s", "scounter", "incr", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationNetworkLatency sweeps the fabric's one-way latency:
+// the round-trip sequencer is latency-bound, the cached one is not.
+func BenchmarkAblationNetworkLatency(b *testing.B) {
+	for _, lat := range []time.Duration{0, 500 * time.Microsecond} {
+		lat := lat
+		for _, cached := range []bool{false, true} {
+			cached := cached
+			mode := "roundtrip"
+			if cached {
+				mode = "cached"
+			}
+			b.Run(fmt.Sprintf("lat=%v/%s", lat, mode), func(b *testing.B) {
+				cluster := bootB(b, core.Options{
+					MDSs: 1, OSDs: 2, NetLatency: lat,
+				})
+				ctx := context.Background()
+				cl := mdsClientB(b, cluster, "client.bench")
+				pol := mds.CapPolicy{}
+				if cached {
+					pol = mds.CapPolicy{Cacheable: true, Quota: 10000, Delay: 10 * time.Second}
+				}
+				if err := cl.Open(ctx, "/seq", mds.TypeSequencer, &pol); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := cl.Next(ctx, "/seq"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+var _ = wire.Addr("")

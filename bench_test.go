@@ -1,0 +1,420 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures.
+// Each benchmark measures the core operation behind the corresponding
+// evaluation artifact; cmd/figures regenerates the full curves. Run:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mantle"
+	"repro/internal/mds"
+	"repro/internal/types"
+	"repro/internal/wire"
+	"repro/internal/zlog"
+)
+
+func bootB(b *testing.B, opts core.Options) *core.Cluster {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := core.Boot(ctx, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	return c
+}
+
+func mdsClientB(b *testing.B, c *core.Cluster, name string) *mds.Client {
+	b.Helper()
+	cl := c.NewMDSClient(name)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	return cl
+}
+
+// BenchmarkTable1Classes measures object-class invocation — the
+// co-designed interfaces whose growth Table 1 and Figure 2 census —
+// across the shipped native classes.
+func BenchmarkTable1Classes(b *testing.B) {
+	cluster := bootB(b, core.Options{OSDs: 2, Pools: []string{"data"}, Replicas: 1})
+	ctx := context.Background()
+	rc := cluster.NewRadosClient("client.bench")
+	if err := rc.RefreshMap(ctx); err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct{ class, method string }{
+		{"counter", "incr"}, // metadata
+		{"log", "append"},   // logging
+		{"lock", "info"},    // locking
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.class+"."+tc.method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = rc.Call(ctx, "data", "obj-"+tc.class, tc.class, tc.method, []byte("bench"))
+			}
+		})
+	}
+}
+
+// BenchmarkFig2ScriptClassCall measures dynamically installed (script)
+// interface calls — the programmability whose adoption Figure 2 plots.
+func BenchmarkFig2ScriptClassCall(b *testing.B) {
+	cluster := bootB(b, core.Options{OSDs: 2, Pools: []string{"data"}, Replicas: 1})
+	ctx := context.Background()
+	rc := cluster.NewRadosClient("client.bench")
+	monc := cluster.NewMonClient("client.bench.mon")
+	script := `
+function touch(cls)
+	local v = tonumber(cls.omap_get("n")) or 0
+	cls.omap_set("n", tostring(v + 1))
+	return tostring(v + 1)
+end
+`
+	if err := monc.InstallClass(ctx, "bench", script, "other"); err != nil {
+		b.Fatal(err)
+	}
+	if err := rc.RefreshMap(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rc.Call(ctx, "data", "o", "bench", "touch", nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Call(ctx, "data", "o", "bench", "touch", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCapPolicy drives b.N sequencer ops under a capability policy
+// with one background contender — the Figure 5 regimes.
+func benchCapPolicy(b *testing.B, policy mds.CapPolicy) {
+	cluster := bootB(b, core.Options{MDSs: 1, OSDs: 2})
+	ctx := context.Background()
+	main := mdsClientB(b, cluster, "client.main")
+	rival := mdsClientB(b, cluster, "client.rival")
+	if err := main.Open(ctx, "/seq", mds.TypeSequencer, &policy); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var stopped atomic.Bool
+	go func() {
+		for !stopped.Load() {
+			cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_, _ = rival.Next(cctx, "/seq")
+			cancel()
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := main.Next(ctx, "/seq"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stopped.Store(true)
+	<-stop
+}
+
+// BenchmarkFig5CapPolicies: per-op cost of each hand-off policy.
+func BenchmarkFig5CapPolicies(b *testing.B) {
+	b.Run("best-effort", func(b *testing.B) {
+		benchCapPolicy(b, mds.CapPolicy{Cacheable: true})
+	})
+	b.Run("delay-250ms", func(b *testing.B) {
+		benchCapPolicy(b, mds.CapPolicy{Cacheable: true, Delay: 250 * time.Millisecond})
+	})
+	b.Run("quota-100", func(b *testing.B) {
+		benchCapPolicy(b, mds.CapPolicy{Cacheable: true, Quota: 100, Delay: 250 * time.Millisecond})
+	})
+}
+
+// BenchmarkFig6QuotaSweep: amortized sequencer op cost across the quota
+// sweep of Figure 6.
+func BenchmarkFig6QuotaSweep(b *testing.B) {
+	for _, quota := range []int{1, 10, 100, 1000} {
+		quota := quota
+		b.Run(fmt.Sprintf("quota-%d", quota), func(b *testing.B) {
+			benchCapPolicy(b, mds.CapPolicy{
+				Cacheable: true, Quota: quota, Delay: 250 * time.Millisecond,
+			})
+		})
+	}
+}
+
+// BenchmarkFig7LatencyTail reports the P99 sequencer latency (Figure
+// 7's CDF tail) as a custom metric.
+func BenchmarkFig7LatencyTail(b *testing.B) {
+	cluster := bootB(b, core.Options{MDSs: 1, OSDs: 2})
+	ctx := context.Background()
+	cl := mdsClientB(b, cluster, "client.main")
+	pol := mds.CapPolicy{Cacheable: true, Quota: 100, Delay: 250 * time.Millisecond}
+	if err := cl.Open(ctx, "/seq", mds.TypeSequencer, &pol); err != nil {
+		b.Fatal(err)
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := cl.Next(ctx, "/seq"); err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	if len(lats) > 0 {
+		// Simple selection of P99.
+		idx := len(lats) * 99 / 100
+		for i := range lats {
+			for j := i; j > 0 && lats[j] < lats[j-1]; j-- {
+				lats[j], lats[j-1] = lats[j-1], lats[j]
+			}
+		}
+		b.ReportMetric(float64(lats[min(idx, len(lats)-1)].Microseconds()), "p99-us")
+	}
+}
+
+// BenchmarkFig8Propagation measures one full interface-update
+// propagation wave: Paxos commit + push + gossip until every OSD is
+// live (Figure 8).
+func BenchmarkFig8Propagation(b *testing.B) {
+	cluster := bootB(b, core.Options{
+		OSDs:             12,
+		ProposalInterval: 5 * time.Millisecond,
+		GossipFanout:     3,
+	})
+	ctx := context.Background()
+	monc := cluster.NewMonClient("client.bench")
+
+	version := uint64(0)
+	live := make([]atomic.Uint64, len(cluster.OSDs))
+	for i, osd := range cluster.OSDs {
+		i := i
+		osd.OnClassLive(func(name string, v uint64) {
+			if name == "bench.iface" {
+				live[i].Store(v)
+			}
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		version++
+		script := fmt.Sprintf("function f(cls) return %d end", version)
+		if err := monc.InstallClass(ctx, "bench.iface", script, "other"); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			all := true
+			for j := range live {
+				if live[j].Load() < version {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// BenchmarkFig9Balancers measures round-trip sequencer throughput on a
+// cluster whose sequencers have been spread by each strategy (the
+// steady-state regime of Figure 9).
+func BenchmarkFig9Balancers(b *testing.B) {
+	for _, spread := range []bool{false, true} {
+		name := "no-balancing"
+		if spread {
+			name = "balanced"
+		}
+		spread := spread
+		b.Run(name, func(b *testing.B) {
+			cluster := bootB(b, core.Options{
+				MDSs: 3, OSDs: 2,
+				MDS: mds.Config{
+					HandleTime:  20 * time.Microsecond,
+					ServiceTime: 20 * time.Microsecond,
+				},
+			})
+			ctx := context.Background()
+			cl := mdsClientB(b, cluster, "client.main")
+			rt := mds.CapPolicy{}
+			for i := 0; i < 3; i++ {
+				path := fmt.Sprintf("/seq%d", i)
+				if err := cl.Open(ctx, path, mds.TypeSequencer, &rt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if spread {
+				// The balanced placement Figure 9's winners converge to.
+				for i := 1; i < 3; i++ {
+					if err := cluster.MDSs[0].Export(ctx, fmt.Sprintf("/seq%d", i), i, mds.ModeClient); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Next(ctx, fmt.Sprintf("/seq%d", i%3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Modes measures per-op cost through each migration mode
+// (Figures 10b/11/12): direct authority, proxy forwarding, client-mode
+// redirect with coherence.
+func BenchmarkFig10Modes(b *testing.B) {
+	run := func(b *testing.B, mode *mds.MigrationMode) {
+		cluster := bootB(b, core.Options{
+			MDSs: 2, OSDs: 2,
+			MDS: mds.Config{
+				HandleTime:    20 * time.Microsecond,
+				ServiceTime:   20 * time.Microsecond,
+				CoherenceTime: 20 * time.Microsecond,
+			},
+		})
+		ctx := context.Background()
+		cl := mdsClientB(b, cluster, "client.main")
+		rt := mds.CapPolicy{}
+		if err := cl.Open(ctx, "/seq", mds.TypeSequencer, &rt); err != nil {
+			b.Fatal(err)
+		}
+		if mode != nil {
+			if err := cluster.MDSs[0].Export(ctx, "/seq", 1, *mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := cl.Next(ctx, "/seq"); err != nil { // drain redirect
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Next(ctx, "/seq"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	proxy, client := mds.ModeProxy, mds.ModeClient
+	b.Run("direct", func(b *testing.B) { run(b, nil) })
+	b.Run("proxy", func(b *testing.B) { run(b, &proxy) })
+	b.Run("client-coherence", func(b *testing.B) { run(b, &client) })
+}
+
+// BenchmarkFig12ZLogAppend measures the end-to-end shared-log append —
+// the operation whose throughput all of Section 6.2 optimizes.
+func BenchmarkFig12ZLogAppend(b *testing.B) {
+	cluster := bootB(b, core.Options{MDSs: 1, OSDs: 3, Pools: []string{"zlog"}, Replicas: 2})
+	ctx := context.Background()
+	l, err := zlog.Open(ctx, cluster.Net, "client.bench", cluster.MonIDs(), zlog.Options{
+		Name: "bench", Pool: "zlog",
+		SeqPolicy: mds.CapPolicy{Cacheable: true, Quota: 1000, Delay: time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(l.Close)
+	payload := []byte("benchmark-entry-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZLogRead measures log reads (which never touch the
+// sequencer).
+func BenchmarkZLogRead(b *testing.B) {
+	cluster := bootB(b, core.Options{MDSs: 1, OSDs: 3, Pools: []string{"zlog"}, Replicas: 2})
+	ctx := context.Background()
+	l, err := zlog.Open(ctx, cluster.Net, "client.bench", cluster.MonIDs(), zlog.Options{
+		Name: "bench", Pool: "zlog",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(l.Close)
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(ctx, []byte("entry")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Read(ctx, uint64(i%n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackoff measures Mantle policy evaluation itself — the
+// per-tick cost of programmable balancing (§6.2.3's knob lives in the
+// policy).
+func BenchmarkBackoff(b *testing.B) {
+	cluster := bootB(b, core.Options{OSDs: 2})
+	ctx := context.Background()
+	rc := cluster.NewRadosClient("client.bench")
+	monc := cluster.NewMonClient("client.bench.mon")
+	if err := mantle.InstallPolicy(ctx, rc, monc, "metadata", "bench-pol", mantle.PolicyBackoff); err != nil {
+		b.Fatal(err)
+	}
+	bal := mantle.NewBalancer(cluster.Net, wire.Addr("client.bal"), cluster.MonIDs(), "metadata", 200*time.Millisecond)
+	m, err := monc.GetMDSMap(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := mds.BalancerInput{
+		WhoAmI: 0,
+		Loads:  map[int]float64{0: 300, 1: 50, 2: 50},
+		MDSMap: m,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bal.Decide(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceMetadataCommit measures a full Paxos-committed
+// service-metadata update (the §4.1 interface everything versions
+// through).
+func BenchmarkServiceMetadataCommit(b *testing.B) {
+	cluster := bootB(b, core.Options{Mons: 3, OSDs: 2, ProposalInterval: 2 * time.Millisecond})
+	ctx := context.Background()
+	monc := cluster.NewMonClient("client.bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := monc.SetService(ctx, types.MapOSD, "bench.key", fmt.Sprint(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+// Command malacology boots an in-process Malacology cluster and drives
+// it from an interactive shell — the operator's view of the
+// programmable storage system.
+//
+//	go run ./cmd/malacology -osds 4 -mds 2
+//
+// Commands:
+//
+//	status                          cluster maps at a glance
+//	put <pool> <obj> <data>         write an object
+//	get <pool> <obj>                read an object
+//	omap-set <pool> <obj> <k> <v>   set an omap key
+//	omap-get <pool> <obj> <k>       get an omap key
+//	install <class> <file|-> ...    install a script interface (reads a
+//	                                file, or inline script after '-')
+//	call <pool> <obj> <cls> <m> [input]  invoke a class method
+//	seq-new <path>                  create a round-trip sequencer
+//	seq-next <path>                 advance a sequencer
+//	svc-set <map> <key> <value>     set service metadata
+//	svc-get <map> <key>             read service metadata
+//	balancer <version>              activate a Mantle policy version
+//	log                             dump the centralized cluster log
+//	quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mds"
+)
+
+var (
+	osds  = flag.Int("osds", 3, "object storage daemons")
+	mdss  = flag.Int("mds", 1, "metadata server ranks")
+	mons  = flag.Int("mons", 1, "monitors")
+	pools = flag.String("pools", "data", "comma-separated pools to create")
+)
+
+func main() {
+	flag.Parse()
+	ctx := context.Background()
+
+	fmt.Printf("booting: %d mon, %d osd, %d mds, pools [%s, metadata]\n",
+		*mons, *osds, *mdss, *pools)
+	cluster, err := core.Boot(ctx, core.Options{
+		Mons: *mons, OSDs: *osds, MDSs: *mdss,
+		Pools: strings.Split(*pools, ","),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cluster.Stop()
+
+	m, err := core.Connect(ctx, cluster, "client.cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer m.Close()
+
+	fmt.Println("ready. type 'help' for commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("malacology> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		cmd := args[0]
+		cctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		err := dispatch(cctx, cluster, m, cmd, args[1:])
+		cancel()
+		if err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cmd string, args []string) error {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "quit", "exit":
+		return errQuit
+	case "help":
+		fmt.Println("status put get omap-set omap-get install call seq-new seq-next svc-set svc-get balancer log quit")
+		return nil
+
+	case "status":
+		om, err := m.Mon().GetOSDMap(ctx)
+		if err != nil {
+			return err
+		}
+		mm, err := m.Mon().GetMDSMap(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("osdmap e%d: %d osds up %v\n", om.Epoch, len(om.UpOSDs()), om.UpOSDs())
+		var pools []string
+		for p := range om.Pools {
+			pools = append(pools, p)
+		}
+		sort.Strings(pools)
+		fmt.Printf("pools: %v\n", pools)
+		var classes []string
+		for c, def := range om.Classes {
+			classes = append(classes, fmt.Sprintf("%s@v%d", c, def.Version))
+		}
+		sort.Strings(classes)
+		fmt.Printf("script classes: %v\n", classes)
+		fmt.Printf("mdsmap e%d: ranks up %v, balancer=%q\n", mm.Epoch, mm.UpRanks(), mm.BalancerVersion)
+		return nil
+
+	case "put":
+		if err := need(3); err != nil {
+			return err
+		}
+		return m.PutObject(ctx, args[0], args[1], []byte(strings.Join(args[2:], " ")))
+
+	case "get":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := m.GetObject(ctx, args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+		return nil
+
+	case "omap-set":
+		if err := need(4); err != nil {
+			return err
+		}
+		return m.Rados().OmapSet(ctx, args[0], args[1], map[string][]byte{args[2]: []byte(args[3])})
+
+	case "omap-get":
+		if err := need(3); err != nil {
+			return err
+		}
+		kv, err := m.Rados().OmapGet(ctx, args[0], args[1], args[2])
+		if err != nil {
+			return err
+		}
+		if v, ok := kv[args[2]]; ok {
+			fmt.Printf("%s\n", v)
+		} else {
+			fmt.Println("(unset)")
+		}
+		return nil
+
+	case "install":
+		if err := need(2); err != nil {
+			return err
+		}
+		var script string
+		if args[1] == "-" {
+			script = strings.Join(args[2:], " ")
+		} else {
+			body, err := os.ReadFile(args[1])
+			if err != nil {
+				return err
+			}
+			script = string(body)
+		}
+		if err := m.InstallInterface(ctx, args[0], script, "other"); err != nil {
+			return err
+		}
+		fmt.Printf("class %q installed; propagating via gossip\n", args[0])
+		return nil
+
+	case "call":
+		if err := need(4); err != nil {
+			return err
+		}
+		var input []byte
+		if len(args) > 4 {
+			input = []byte(strings.Join(args[4:], " "))
+		}
+		out, err := m.CallInterface(ctx, args[0], args[1], args[2], args[3], input)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+		return nil
+
+	case "seq-new":
+		if err := need(1); err != nil {
+			return err
+		}
+		return m.CreateSequencer(ctx, args[0], mds.CapPolicy{})
+
+	case "seq-next":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := m.Next(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+		return nil
+
+	case "svc-set":
+		if err := need(3); err != nil {
+			return err
+		}
+		return m.SetServiceMeta(ctx, args[0], args[1], strings.Join(args[2:], " "))
+
+	case "svc-get":
+		if err := need(2); err != nil {
+			return err
+		}
+		v, epoch, err := m.GetServiceMeta(ctx, args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (epoch %d)\n", v, epoch)
+		return nil
+
+	case "balancer":
+		if err := need(1); err != nil {
+			return err
+		}
+		return m.ActivateBalancerPolicy(ctx, args[0])
+
+	case "log":
+		entries, err := m.Mon().GetLog(ctx, 0)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			fmt.Printf("[%s] %s: %s\n", e.Level, e.Source, e.Msg)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try help)", cmd)
+}

@@ -1,0 +1,210 @@
+// Package core is Malacology itself: the programmable storage system of
+// the paper. It boots a full cluster (Paxos monitors, replicated object
+// storage daemons, metadata servers) on the in-process fabric and
+// exposes the five interface families of Table 2 as Go APIs:
+//
+//	ServiceMetadata — strongly-consistent, versioned cluster KV (§4.1)
+//	DataIO          — dynamic object interfaces executed on OSDs (§4.2)
+//	SharedResource  — capability-managed exclusive access (§4.3.1)
+//	FileType        — typed inodes with embedded state (§4.3.2)
+//	LoadBalancing   — programmable migration of metadata load (§4.3.3)
+//	Durability      — replicated, scrubbed object storage (§4.4)
+//
+// Higher-level services compose these: Mantle (internal/mantle) builds
+// on ServiceMetadata + LoadBalancing + Durability; ZLog (internal/zlog)
+// builds on FileType + SharedResource + DataIO + ServiceMetadata.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/mds"
+	"repro/internal/mon"
+	"repro/internal/paxos"
+	"repro/internal/rados"
+	"repro/internal/wire"
+)
+
+// Options sizes and tunes a cluster.
+type Options struct {
+	Mons int // monitor quorum size (default 1)
+	OSDs int // object storage daemons (default 3)
+	MDSs int // metadata server ranks (default 1)
+
+	// Pools are created at boot; "metadata" is always added (journals
+	// and Mantle policy objects live there).
+	Pools    []string
+	PGNum    int // default 8
+	Replicas int // default 2
+
+	// ProposalInterval batches monitor updates (paper: 1 s default,
+	// 222 ms tuned). Default here: 10 ms for snappy tests.
+	ProposalInterval time.Duration
+	// GossipFanout limits direct monitor pushes of OSDMap updates; the
+	// remainder propagate OSD-to-OSD (Figure 8's pipeline). 0 = all.
+	GossipFanout int
+	// BeaconTimeout enables the failure detector; zero disables.
+	BeaconTimeout time.Duration
+
+	// NetLatency/NetJitter configure the simulated network.
+	NetLatency time.Duration
+	NetJitter  time.Duration
+	Seed       int64
+
+	// MDS carries the metadata-server cost model and balancer settings;
+	// Rank/Mons/Pool are filled per rank at boot.
+	MDS mds.Config
+	// MDSBalancer, when set, builds a per-rank balancer (overriding
+	// MDS.Balancer); each rank needs its own instance because policy
+	// state is rank-local.
+	MDSBalancer func(rank int) mds.Balancer
+	// OSD carries OSD tuning; ID/Mons are filled per daemon at boot.
+	OSD rados.OSDConfig
+}
+
+func (o *Options) defaults() {
+	if o.Mons <= 0 {
+		o.Mons = 1
+	}
+	if o.OSDs <= 0 {
+		o.OSDs = 3
+	}
+	if o.MDSs < 0 {
+		o.MDSs = 0
+	}
+	if o.PGNum <= 0 {
+		o.PGNum = 8
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.ProposalInterval <= 0 {
+		o.ProposalInterval = 10 * time.Millisecond
+	}
+}
+
+// Cluster is a running Malacology deployment.
+type Cluster struct {
+	Net  *wire.Network
+	Mons []*mon.Monitor
+	OSDs []*rados.OSD
+	MDSs []*mds.Server
+
+	monIDs []int
+	opts   Options
+}
+
+// Boot starts a cluster and waits for it to be serviceable.
+func Boot(ctx context.Context, opts Options) (*Cluster, error) {
+	opts.defaults()
+	netOpts := []wire.Option{wire.WithSeed(opts.Seed)}
+	if opts.NetLatency > 0 || opts.NetJitter > 0 {
+		netOpts = append(netOpts, wire.WithLatency(opts.NetLatency, opts.NetJitter))
+	}
+	c := &Cluster{
+		Net:  wire.NewNetwork(netOpts...),
+		opts: opts,
+	}
+	for i := 0; i < opts.Mons; i++ {
+		c.monIDs = append(c.monIDs, i)
+	}
+
+	// Monitors first: everything else registers through them.
+	pxCfg := paxos.Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		ElectionTimeout:   200 * time.Millisecond,
+	}
+	for i := 0; i < opts.Mons; i++ {
+		m := mon.New(c.Net, mon.Config{
+			ID:               i,
+			Peers:            c.monIDs,
+			ProposalInterval: opts.ProposalInterval,
+			GossipFanout:     opts.GossipFanout,
+			BeaconTimeout:    opts.BeaconTimeout,
+			Paxos:            pxCfg,
+		})
+		m.Start()
+		c.Mons = append(c.Mons, m)
+	}
+	if err := c.Mons[0].Lead(ctx); err != nil {
+		c.Stop()
+		return nil, fmt.Errorf("core: initial election: %w", err)
+	}
+
+	// Pools.
+	boot := mon.NewClient(c.Net, "client.bootstrap", c.monIDs)
+	pools := append([]string{"metadata"}, opts.Pools...)
+	for _, p := range pools {
+		if err := boot.CreatePool(ctx, p, opts.PGNum, opts.Replicas); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("core: create pool %s: %w", p, err)
+		}
+	}
+
+	// Object storage daemons.
+	for i := 0; i < opts.OSDs; i++ {
+		cfg := opts.OSD
+		cfg.ID = i
+		cfg.Mons = c.monIDs
+		osd := rados.NewOSD(c.Net, cfg)
+		if err := osd.Start(ctx); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("core: start osd.%d: %w", i, err)
+		}
+		c.OSDs = append(c.OSDs, osd)
+	}
+
+	// Metadata servers.
+	for r := 0; r < opts.MDSs; r++ {
+		cfg := opts.MDS
+		cfg.Rank = r
+		cfg.Mons = c.monIDs
+		if cfg.Pool == "" {
+			cfg.Pool = "metadata"
+		}
+		if opts.MDSBalancer != nil {
+			cfg.Balancer = opts.MDSBalancer(r)
+		}
+		srv := mds.NewServer(c.Net, cfg)
+		if err := srv.Start(ctx); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("core: start mds.%d: %w", r, err)
+		}
+		c.MDSs = append(c.MDSs, srv)
+	}
+	return c, nil
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	for _, s := range c.MDSs {
+		s.Stop()
+	}
+	for _, o := range c.OSDs {
+		o.Stop()
+	}
+	for _, m := range c.Mons {
+		m.Stop()
+	}
+}
+
+// MonIDs returns the monitor ranks (for building clients).
+func (c *Cluster) MonIDs() []int { return c.monIDs }
+
+// NewRadosClient returns an object-store client named addr.
+func (c *Cluster) NewRadosClient(addr string) *rados.Client {
+	return rados.NewClient(c.Net, wire.Addr(addr), c.monIDs)
+}
+
+// NewMDSClient returns a metadata-service client named addr. Call its
+// Start before use.
+func (c *Cluster) NewMDSClient(addr string) *mds.Client {
+	return mds.NewClient(c.Net, wire.Addr(addr), c.monIDs)
+}
+
+// NewMonClient returns a monitor client named addr.
+func (c *Cluster) NewMonClient(addr string) *mon.Client {
+	return mon.NewClient(c.Net, wire.Addr(addr), c.monIDs)
+}

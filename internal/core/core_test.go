@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mds"
+	"repro/internal/types"
+)
+
+func boot(t *testing.T, opts core.Options) *core.Cluster {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := core.Boot(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestBootDefaults(t *testing.T) {
+	c := boot(t, core.Options{})
+	if len(c.Mons) != 1 || len(c.OSDs) != 3 || len(c.MDSs) != 0 {
+		t.Fatalf("defaults: %d mons, %d osds, %d mds", len(c.Mons), len(c.OSDs), len(c.MDSs))
+	}
+	ctx := ctxT(t, 5*time.Second)
+	m, err := c.NewMonClient("client.t").GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Pools["metadata"]; !ok {
+		t.Fatal("metadata pool not created")
+	}
+	if len(m.UpOSDs()) != 3 {
+		t.Fatalf("up OSDs = %v", m.UpOSDs())
+	}
+}
+
+func TestBootThreeMonQuorum(t *testing.T) {
+	c := boot(t, core.Options{Mons: 3, OSDs: 2})
+	ctx := ctxT(t, 10*time.Second)
+	monc := c.NewMonClient("client.t")
+	if err := monc.SetService(ctx, types.MapOSD, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the leader; quorum of 2 keeps serving.
+	c.Mons[0].Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := monc.SetService(ctx, types.MapOSD, "k2", "v2")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quorum lost after one monitor failure: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	c := boot(t, core.Options{MDSs: 1, OSDs: 3, Pools: []string{"data"}})
+	ctx := ctxT(t, 20*time.Second)
+	m, err := core.Connect(ctx, c, "client.facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Durability.
+	if err := m.PutObject(ctx, "data", "o", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.GetObject(ctx, "data", "o")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+
+	// Service metadata.
+	if err := m.SetServiceMeta(ctx, types.MapOSD, "facade.k", "1"); err != nil {
+		t.Fatal(err)
+	}
+	v, epoch, err := m.GetServiceMeta(ctx, types.MapOSD, "facade.k")
+	if err != nil || v != "1" || epoch == 0 {
+		t.Fatalf("service meta = %q @%d, %v", v, epoch, err)
+	}
+	v2, _, err := m.GetServiceMeta(ctx, types.MapMDS, "absent")
+	if err != nil || v2 != "" {
+		t.Fatalf("absent key = %q, %v", v2, err)
+	}
+
+	// Data I/O.
+	if err := m.InstallInterface(ctx, "echo", `function run(cls) return cls.input end`, "other"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.CallInterface(ctx, "data", "o", "echo", "run", []byte("ping"))
+	if err != nil || string(out) != "ping" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+
+	// Sequencer (File Type + Shared Resource).
+	if err := m.CreateSequencer(ctx, "/f/seq", mds.CapPolicy{Cacheable: true, Quota: 10}); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := m.Next(ctx, "/f/seq")
+	if err != nil || v1 != 1 {
+		t.Fatalf("next = %d, %v", v1, err)
+	}
+	if err := m.SetCapPolicy(ctx, "/f/seq", mds.CapPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load balancing + durability combo.
+	if err := m.StoreBalancerPolicy(ctx, "p1", "targets[1] = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ActivateBalancerPolicy(ctx, "p1"); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := m.Mon().GetMDSMap(ctx)
+	if err != nil || mm.BalancerVersion != "p1" {
+		t.Fatalf("balancer = %q, %v", mm.BalancerVersion, err)
+	}
+
+	// Cluster log.
+	if err := m.ClusterLog(ctx, "info", "facade test"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectWithoutMDS(t *testing.T) {
+	c := boot(t, core.Options{MDSs: 0, OSDs: 2, Pools: []string{"data"}})
+	ctx := ctxT(t, 10*time.Second)
+	m, err := core.Connect(ctx, c, "client.nomds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.PutObject(ctx, "data", "o", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootWithNetworkLatency(t *testing.T) {
+	c := boot(t, core.Options{
+		OSDs: 2, NetLatency: 200 * time.Microsecond, NetJitter: 100 * time.Microsecond,
+	})
+	ctx := ctxT(t, 15*time.Second)
+	rc := c.NewRadosClient("client.lat")
+	if err := rc.RefreshMap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.WriteFull(ctx, "metadata", "o", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.Read(ctx, "metadata", "o")
+	if err != nil || string(got) != "z" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestBootManyDaemons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 40 daemons")
+	}
+	c := boot(t, core.Options{Mons: 3, OSDs: 32, MDSs: 3, PGNum: 32, Replicas: 3})
+	ctx := ctxT(t, 20*time.Second)
+	monc := c.NewMonClient("client.t")
+	m, err := monc.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.UpOSDs()) != 32 {
+		t.Fatalf("up OSDs = %d", len(m.UpOSDs()))
+	}
+	rc := c.NewRadosClient("client.rc")
+	for i := 0; i < 32; i++ {
+		if err := rc.WriteFull(ctx, "metadata", fmt.Sprintf("obj%d", i), []byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

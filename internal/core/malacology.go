@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/mds"
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+)
+
+// Malacology is the application-facing handle onto a cluster's
+// programmable interfaces. One handle bundles a monitor client, an
+// object-store client, and a metadata-service client under a single
+// identity, and groups methods by the interface families of Table 2.
+type Malacology struct {
+	name string
+	monc *mon.Client
+	rc   *rados.Client
+	mc   *mds.Client
+}
+
+// Connect builds a handle named name (e.g. "client.app") onto cluster c.
+func Connect(ctx context.Context, c *Cluster, name string) (*Malacology, error) {
+	m := &Malacology{
+		name: name,
+		monc: c.NewMonClient(name + ".mon"),
+		rc:   c.NewRadosClient(name + ".rados"),
+		mc:   c.NewMDSClient(name),
+	}
+	if len(c.MDSs) > 0 {
+		if err := m.mc.Start(ctx); err != nil {
+			return nil, fmt.Errorf("core: connect mds client: %w", err)
+		}
+	}
+	if err := m.rc.RefreshMap(ctx); err != nil {
+		return nil, fmt.Errorf("core: connect rados client: %w", err)
+	}
+	return m, nil
+}
+
+// Close releases client-side resources (held capabilities, endpoints).
+func (m *Malacology) Close() { m.mc.Stop() }
+
+// Rados exposes the raw object-store client.
+func (m *Malacology) Rados() *rados.Client { return m.rc }
+
+// MDS exposes the raw metadata-service client.
+func (m *Malacology) MDS() *mds.Client { return m.mc }
+
+// Mon exposes the raw monitor client.
+func (m *Malacology) Mon() *mon.Client { return m.monc }
+
+// ---- Service Metadata interface (§4.1) ----
+
+// SetServiceMeta publishes a strongly consistent key on a cluster map;
+// the monitor quorum versions it and propagates it to every subscriber.
+func (m *Malacology) SetServiceMeta(ctx context.Context, mapKind, key, value string) error {
+	return m.monc.SetService(ctx, mapKind, key, value)
+}
+
+// GetServiceMeta reads a service-metadata key and the map epoch it was
+// observed at.
+func (m *Malacology) GetServiceMeta(ctx context.Context, mapKind, key string) (string, types.Epoch, error) {
+	switch mapKind {
+	case types.MapMDS:
+		mm, err := m.monc.GetMDSMap(ctx)
+		if err != nil {
+			return "", 0, err
+		}
+		return mm.Service[key], mm.Epoch, nil
+	default:
+		om, err := m.monc.GetOSDMap(ctx)
+		if err != nil {
+			return "", 0, err
+		}
+		return om.Service[key], om.Epoch, nil
+	}
+}
+
+// ClusterLog appends to the centralized log (§5.1.3).
+func (m *Malacology) ClusterLog(ctx context.Context, level, msg string) error {
+	return m.monc.Log(ctx, level, msg)
+}
+
+// ---- Data I/O interface (§4.2) ----
+
+// InstallInterface installs (or upgrades, with automatic versioning) a
+// script object-interface class cluster-wide, without restarting any
+// daemon.
+func (m *Malacology) InstallInterface(ctx context.Context, name, script, category string) error {
+	return m.monc.InstallClass(ctx, name, script, category)
+}
+
+// CallInterface invokes a class method next to the object's data.
+func (m *Malacology) CallInterface(ctx context.Context, pool, object, class, method string, input []byte) ([]byte, error) {
+	return m.rc.Call(ctx, pool, object, class, method, input)
+}
+
+// ---- Shared Resource + File Type interfaces (§4.3.1, §4.3.2) ----
+
+// CreateSequencer creates a sequencer-typed inode whose counter state is
+// embedded in the inode, governed by the given capability policy.
+func (m *Malacology) CreateSequencer(ctx context.Context, path string, policy mds.CapPolicy) error {
+	return m.mc.Open(ctx, path, mds.TypeSequencer, &policy)
+}
+
+// Next advances the sequencer — locally under a cached capability, or
+// by a round-trip, per the inode's policy.
+func (m *Malacology) Next(ctx context.Context, path string) (uint64, error) {
+	return m.mc.Next(ctx, path)
+}
+
+// SetCapPolicy retunes capability hand-off (best-effort vs delay vs
+// quota — the latency/throughput knob of Figures 5-7).
+func (m *Malacology) SetCapPolicy(ctx context.Context, path string, p mds.CapPolicy) error {
+	return m.mc.SetPolicy(ctx, path, p)
+}
+
+// ---- Load Balancing interface (§4.3.3) + Durability (§4.4) ----
+
+// StoreBalancerPolicy writes a Mantle policy body as an object in the
+// metadata pool; the object name doubles as the policy version.
+func (m *Malacology) StoreBalancerPolicy(ctx context.Context, version, body string) error {
+	return m.rc.WriteFull(ctx, "metadata", version, []byte(body))
+}
+
+// ActivateBalancerPolicy points the MDS cluster at a stored policy via
+// the monitor (the versioning CLI of §5.1.1).
+func (m *Malacology) ActivateBalancerPolicy(ctx context.Context, version string) error {
+	return m.monc.SetBalancerVersion(ctx, version)
+}
+
+// PutObject / GetObject are the plain durability surface.
+func (m *Malacology) PutObject(ctx context.Context, pool, object string, data []byte) error {
+	return m.rc.WriteFull(ctx, pool, object, data)
+}
+
+// GetObject reads an object's bytestream.
+func (m *Malacology) GetObject(ctx context.Context, pool, object string) ([]byte, error) {
+	return m.rc.Read(ctx, pool, object)
+}

@@ -1,0 +1,250 @@
+package kvdb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvdb"
+	"repro/internal/mds"
+	"repro/internal/wire"
+)
+
+func boot(t *testing.T) *core.Cluster {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := core.Boot(ctx, core.Options{
+		MDSs: 1, OSDs: 3, Pools: []string{"db"}, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func openDB(t *testing.T, c *core.Cluster, client, name string) *kvdb.DB {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	db, err := kvdb.Open(ctx, c.Net, wire.Addr(client), c.MonIDs(), kvdb.Options{
+		Name: name, Pool: "db",
+		SeqPolicy: mds.CapPolicy{Cacheable: true, Quota: 64, Delay: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestPutGetDelete(t *testing.T) {
+	c := boot(t)
+	db := openDB(t, c, "client.1", "t1")
+	ctx := ctxT(t, 20*time.Second)
+
+	if err := db.Put(ctx, "color", "teal"); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, ok, err := db.Get(ctx, "color")
+	if err != nil || !ok || v != "teal" || ver != 1 {
+		t.Fatalf("get = %q v%d ok=%v err=%v", v, ver, ok, err)
+	}
+	if err := db.Put(ctx, "color", "plum"); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, _, _ = db.Get(ctx, "color")
+	if v != "plum" || ver != 2 {
+		t.Fatalf("after overwrite: %q v%d", v, ver)
+	}
+	if err := db.Delete(ctx, "color"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ok, _ = db.Get(ctx, "color")
+	if ok {
+		t.Fatal("key survives delete")
+	}
+}
+
+func TestTwoNodesConverge(t *testing.T) {
+	c := boot(t)
+	a := openDB(t, c, "client.a", "t2")
+	b := openDB(t, c, "client.b", "t2")
+	ctx := ctxT(t, 20*time.Second)
+
+	if err := a.Put(ctx, "k1", "from-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(ctx, "k2", "from-b"); err != nil {
+		t.Fatal(err)
+	}
+	// Each node reads the other's write through the shared log.
+	v, _, ok, err := b.Get(ctx, "k1")
+	if err != nil || !ok || v != "from-a" {
+		t.Fatalf("b.Get(k1) = %q ok=%v err=%v", v, ok, err)
+	}
+	v, _, ok, err = a.Get(ctx, "k2")
+	if err != nil || !ok || v != "from-b" {
+		t.Fatalf("a.Get(k2) = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestElasticAttach(t *testing.T) {
+	c := boot(t)
+	a := openDB(t, c, "client.a", "t3")
+	ctx := ctxT(t, 20*time.Second)
+
+	for i := 0; i < 20; i++ {
+		if err := a.Put(ctx, fmt.Sprintf("k%d", i), fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A node attached later replays history and is immediately current.
+	late := openDB(t, c, "client.late", "t3")
+	if late.Len() != 20 {
+		t.Fatalf("late node sees %d keys, want 20", late.Len())
+	}
+	v, _, ok := late.GetStale("k7")
+	if !ok || v != "7" {
+		t.Fatalf("late k7 = %q ok=%v", v, ok)
+	}
+}
+
+func TestCASResolvesIdenticallyOnAllNodes(t *testing.T) {
+	c := boot(t)
+	a := openDB(t, c, "client.a", "t4")
+	b := openDB(t, c, "client.b", "t4")
+	ctx := ctxT(t, 20*time.Second)
+
+	if err := a.Put(ctx, "lock", "free"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Both nodes race a CAS from version 1; exactly one wins.
+	errA := a.CAS(ctx, "lock", 1, "held-by-a")
+	errB := b.CAS(ctx, "lock", 1, "held-by-b")
+	wins := 0
+	if errA == nil {
+		wins++
+	} else if !errors.Is(errA, kvdb.ErrConflict) {
+		t.Fatal(errA)
+	}
+	if errB == nil {
+		wins++
+	} else if !errors.Is(errB, kvdb.ErrConflict) {
+		t.Fatal(errB)
+	}
+	if wins != 1 {
+		t.Fatalf("CAS winners = %d, want exactly 1 (A=%v B=%v)", wins, errA, errB)
+	}
+	// Both nodes agree on the final value.
+	va, _, _, _ := a.Get(ctx, "lock")
+	vb, _, _, _ := b.Get(ctx, "lock")
+	if va != vb {
+		t.Fatalf("divergence: a=%q b=%q", va, vb)
+	}
+	if va != "held-by-a" && va != "held-by-b" {
+		t.Fatalf("final value %q", va)
+	}
+}
+
+func TestCheckpointAndTrim(t *testing.T) {
+	c := boot(t)
+	a := openDB(t, c, "client.a", "t5")
+	ctx := ctxT(t, 30*time.Second)
+
+	for i := 0; i < 30; i++ {
+		if err := a.Put(ctx, fmt.Sprintf("k%d", i%5), fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the checkpoint.
+	if err := a.Put(ctx, "post", "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	// A new node must come up from checkpoint + suffix, despite the
+	// trimmed prefix.
+	late := openDB(t, c, "client.late", "t5")
+	v, _, ok, err := late.Get(ctx, "post")
+	if err != nil || !ok || v != "ckpt" {
+		t.Fatalf("post = %q ok=%v err=%v", v, ok, err)
+	}
+	v, _, ok, _ = late.Get(ctx, "k4")
+	if !ok || v != "29" {
+		t.Fatalf("k4 = %q ok=%v (checkpointed state lost)", v, ok)
+	}
+	if late.Len() != 6 {
+		t.Fatalf("late sees %d keys, want 6", late.Len())
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	c := boot(t)
+	ctx := ctxT(t, 40*time.Second)
+	const nodes, writes = 3, 20
+	var dbs []*kvdb.DB
+	for i := 0; i < nodes; i++ {
+		dbs = append(dbs, openDB(t, c, fmt.Sprintf("client.%d", i), "t6"))
+	}
+	var wg sync.WaitGroup
+	for i, db := range dbs {
+		i, db := i, db
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < writes; j++ {
+				key := fmt.Sprintf("n%d-k%d", i, j)
+				if err := db.Put(ctx, key, key); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, db := range dbs {
+		if err := db.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if db.Len() != nodes*writes {
+			t.Fatalf("node %d sees %d keys, want %d", i, db.Len(), nodes*writes)
+		}
+	}
+}
+
+func TestSurvivesSequencerRecovery(t *testing.T) {
+	c := boot(t)
+	a := openDB(t, c, "client.a", "t7")
+	ctx := ctxT(t, 30*time.Second)
+
+	if err := a.Put(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(ctx, "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, _, err := a.Get(ctx, "k")
+	if err != nil || v != "v2" || ver != 2 {
+		t.Fatalf("after recovery: %q v%d err=%v", v, ver, err)
+	}
+}

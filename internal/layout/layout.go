@@ -1,0 +1,296 @@
+// Package layout is a data layout manager — the third higher-level
+// service sketched in the paper's future work ("a data layout manager
+// … the Durability interface to manage ingestion and movement", §7).
+//
+// It stripes large blobs across RADOS objects RAID-0 style. Layout
+// policies (chunk size, stripe count) live in the Service Metadata
+// interface — cluster-wide defaults plus per-file overrides — so
+// operators retune data placement without touching applications, and
+// every client observes the same, versioned policy.
+package layout
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// ErrNotFound is returned when a named blob does not exist.
+var ErrNotFound = errors.New("layout: no such blob")
+
+// Policy controls how a blob is striped.
+type Policy struct {
+	ChunkSize   int `json:"chunk_size"`
+	StripeCount int `json:"stripe_count"`
+	// Parity adds an XOR parity object over the stripes (a k+1 erasure
+	// code): any single lost stripe object is reconstructed on read.
+	// This complements replication for pools that trade copies for
+	// space, completing §4.4's protection trio (replication, erasure
+	// coding, scrubbing).
+	Parity bool `json:"parity,omitempty"`
+}
+
+// DefaultPolicy is used when no policy is published.
+var DefaultPolicy = Policy{ChunkSize: 4096, StripeCount: 4}
+
+func (p Policy) valid() bool { return p.ChunkSize > 0 && p.StripeCount > 0 }
+
+// manifest is stored in the head object.
+type manifest struct {
+	Size   int    `json:"size"`
+	Policy Policy `json:"policy"`
+}
+
+// Manager stripes blobs into a pool under published layout policies.
+type Manager struct {
+	rc   *rados.Client
+	monc *mon.Client
+	pool string
+}
+
+// PolicyKey is the service-metadata key for a per-blob policy override;
+// DefaultKey holds the cluster default.
+const DefaultKey = "layout.default"
+
+// PolicyKey returns the override key for a blob.
+func PolicyKey(name string) string { return "layout." + name }
+
+// New builds a manager writing into pool.
+func New(ctx context.Context, net *wire.Network, self wire.Addr, mons []int, pool string) (*Manager, error) {
+	m := &Manager{
+		rc:   rados.NewClient(net, self, mons),
+		monc: mon.NewClient(net, self+".mon", mons),
+		pool: pool,
+	}
+	if err := m.rc.RefreshMap(ctx); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SetDefaultPolicy publishes the cluster-wide layout default.
+func (m *Manager) SetDefaultPolicy(ctx context.Context, p Policy) error {
+	return m.setPolicyKey(ctx, DefaultKey, p)
+}
+
+// SetPolicy publishes a per-blob override, consulted at the next Write
+// of that blob.
+func (m *Manager) SetPolicy(ctx context.Context, name string, p Policy) error {
+	return m.setPolicyKey(ctx, PolicyKey(name), p)
+}
+
+func (m *Manager) setPolicyKey(ctx context.Context, key string, p Policy) error {
+	if !p.valid() {
+		return fmt.Errorf("layout: invalid policy %+v", p)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return m.monc.SetService(ctx, types.MapOSD, key, string(raw))
+}
+
+// policyFor resolves override → default → built-in.
+func (m *Manager) policyFor(ctx context.Context, name string) (Policy, error) {
+	om, err := m.monc.GetOSDMap(ctx)
+	if err != nil {
+		return Policy{}, err
+	}
+	for _, key := range []string{PolicyKey(name), DefaultKey} {
+		if raw, ok := om.Service[key]; ok {
+			var p Policy
+			if err := json.Unmarshal([]byte(raw), &p); err == nil && p.valid() {
+				return p, nil
+			}
+		}
+	}
+	return DefaultPolicy, nil
+}
+
+func headObject(name string) string { return name + ".head" }
+
+func stripeObject(name string, i int) string { return fmt.Sprintf("%s.s%d", name, i) }
+
+func parityObject(name string) string { return name + ".p" }
+
+// xorInto accumulates src into dst (dst grows to fit).
+func xorInto(dst, src []byte) []byte {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, b := range src {
+		dst[i] ^= b
+	}
+	return dst
+}
+
+// Write stripes data across the pool under the effective policy and
+// records the manifest in the head object.
+func (m *Manager) Write(ctx context.Context, name string, data []byte) error {
+	pol, err := m.policyFor(ctx, name)
+	if err != nil {
+		return err
+	}
+	// Assemble each stripe object's contents: chunk i goes to stripe
+	// i % StripeCount, appended in order.
+	stripes := make([][]byte, pol.StripeCount)
+	for off, i := 0, 0; off < len(data); off, i = off+pol.ChunkSize, i+1 {
+		end := off + pol.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		s := i % pol.StripeCount
+		stripes[s] = append(stripes[s], data[off:end]...)
+	}
+	var parity []byte
+	for i, chunk := range stripes {
+		if pol.Parity {
+			parity = xorInto(parity, chunk)
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		if err := m.rc.WriteFull(ctx, m.pool, stripeObject(name, i), chunk); err != nil {
+			return fmt.Errorf("layout: stripe %d: %w", i, err)
+		}
+	}
+	if pol.Parity {
+		if err := m.rc.WriteFull(ctx, m.pool, parityObject(name), parity); err != nil {
+			return fmt.Errorf("layout: parity: %w", err)
+		}
+	}
+	mf, err := json.Marshal(manifest{Size: len(data), Policy: pol})
+	if err != nil {
+		return err
+	}
+	return m.rc.WriteFull(ctx, m.pool, headObject(name), mf)
+}
+
+// readManifest loads a blob's manifest.
+func (m *Manager) readManifest(ctx context.Context, name string) (manifest, error) {
+	raw, err := m.rc.Read(ctx, m.pool, headObject(name))
+	if errors.Is(err, rados.ErrNotFound) {
+		return manifest{}, ErrNotFound
+	}
+	if err != nil {
+		return manifest{}, err
+	}
+	var mf manifest
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return manifest{}, fmt.Errorf("layout: corrupt manifest for %s: %w", name, err)
+	}
+	if !mf.Policy.valid() {
+		return manifest{}, fmt.Errorf("layout: manifest for %s has invalid policy", name)
+	}
+	return mf, nil
+}
+
+// stripeLengths computes how many bytes each stripe object must hold
+// for a blob of the given size under pol.
+func stripeLengths(size int, pol Policy) []int {
+	lens := make([]int, pol.StripeCount)
+	for off, i := 0, 0; off < size; off, i = off+pol.ChunkSize, i+1 {
+		take := pol.ChunkSize
+		if size-off < take {
+			take = size - off
+		}
+		lens[i%pol.StripeCount] += take
+	}
+	return lens
+}
+
+// Read reassembles a blob, reconstructing a single lost stripe from
+// parity when the policy provides it.
+func (m *Manager) Read(ctx context.Context, name string) ([]byte, error) {
+	mf, err := m.readManifest(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	pol := mf.Policy
+	want := stripeLengths(mf.Size, pol)
+	stripes := make([][]byte, pol.StripeCount)
+	lost := -1
+	for i := range stripes {
+		raw, err := m.rc.Read(ctx, m.pool, stripeObject(name, i))
+		if err != nil && !errors.Is(err, rados.ErrNotFound) {
+			return nil, fmt.Errorf("layout: stripe %d: %w", i, err)
+		}
+		if len(raw) < want[i] {
+			if lost >= 0 {
+				return nil, fmt.Errorf("layout: %s: stripes %d and %d both lost", name, lost, i)
+			}
+			lost = i
+			continue
+		}
+		stripes[i] = raw
+	}
+	if lost >= 0 {
+		if !pol.Parity {
+			return nil, fmt.Errorf("layout: %s stripe %d lost and no parity", name, lost)
+		}
+		parity, err := m.rc.Read(ctx, m.pool, parityObject(name))
+		if err != nil {
+			return nil, fmt.Errorf("layout: %s parity unreadable with stripe %d lost: %w", name, lost, err)
+		}
+		rec := append([]byte(nil), parity...)
+		for i, s := range stripes {
+			if i != lost {
+				rec = xorInto(rec, s)
+			}
+		}
+		if len(rec) < want[lost] {
+			return nil, fmt.Errorf("layout: %s reconstruction short", name)
+		}
+		stripes[lost] = rec[:want[lost]]
+	}
+	out := make([]byte, 0, mf.Size)
+	offsets := make([]int, pol.StripeCount)
+	for i := 0; len(out) < mf.Size; i++ {
+		s := i % pol.StripeCount
+		take := pol.ChunkSize
+		if remaining := mf.Size - len(out); take > remaining {
+			take = remaining
+		}
+		if offsets[s]+take > len(stripes[s]) {
+			return nil, fmt.Errorf("layout: %s stripe %d truncated", name, s)
+		}
+		out = append(out, stripes[s][offsets[s]:offsets[s]+take]...)
+		offsets[s] += take
+	}
+	return out, nil
+}
+
+// Stat returns the blob's size and effective layout.
+func (m *Manager) Stat(ctx context.Context, name string) (int, Policy, error) {
+	mf, err := m.readManifest(ctx, name)
+	if err != nil {
+		return 0, Policy{}, err
+	}
+	return mf.Size, mf.Policy, nil
+}
+
+// Remove deletes the blob's manifest and stripe objects.
+func (m *Manager) Remove(ctx context.Context, name string) error {
+	mf, err := m.readManifest(ctx, name)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < mf.Policy.StripeCount; i++ {
+		err := m.rc.Remove(ctx, m.pool, stripeObject(name, i))
+		if err != nil && !errors.Is(err, rados.ErrNotFound) {
+			return err
+		}
+	}
+	if mf.Policy.Parity {
+		if err := m.rc.Remove(ctx, m.pool, parityObject(name)); err != nil && !errors.Is(err, rados.ErrNotFound) {
+			return err
+		}
+	}
+	return m.rc.Remove(ctx, m.pool, headObject(name))
+}

@@ -1,0 +1,282 @@
+package layout_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+func boot(t *testing.T) (*core.Cluster, *layout.Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := core.Boot(ctx, core.Options{OSDs: 3, Pools: []string{"blobs"}, Replicas: 2, PGNum: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	m, err := layout.New(ctx, c.Net, "client.layout", c.MonIDs(), "blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 31)
+	}
+	return b
+}
+
+func TestRoundTripSizes(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 30*time.Second)
+	for _, n := range []int{0, 1, 100, 4096, 4097, 4096 * 4, 4096*7 + 13, 100_000} {
+		name := fmt.Sprintf("blob-%d", n)
+		data := pattern(n)
+		if err := m.Write(ctx, name, data); err != nil {
+			t.Fatalf("write %d bytes: %v", n, err)
+		}
+		got, err := m.Read(ctx, name)
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%d-byte blob corrupted (got %d bytes)", n, len(got))
+		}
+		size, pol, err := m.Stat(ctx, name)
+		if err != nil || size != n {
+			t.Fatalf("stat = %d, %v", size, err)
+		}
+		if pol != layout.DefaultPolicy {
+			t.Fatalf("policy = %+v", pol)
+		}
+	}
+}
+
+func TestDefaultPolicyFromServiceMetadata(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 20*time.Second)
+	if err := m.SetDefaultPolicy(ctx, layout.Policy{ChunkSize: 1024, StripeCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(ctx, "b", pattern(10_000)); err != nil {
+		t.Fatal(err)
+	}
+	_, pol, err := m.Stat(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ChunkSize != 1024 || pol.StripeCount != 8 {
+		t.Fatalf("policy = %+v", pol)
+	}
+	got, err := m.Read(ctx, "b")
+	if err != nil || !bytes.Equal(got, pattern(10_000)) {
+		t.Fatalf("read back failed: %v", err)
+	}
+}
+
+func TestPerBlobOverride(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 20*time.Second)
+	if err := m.SetDefaultPolicy(ctx, layout.Policy{ChunkSize: 4096, StripeCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPolicy(ctx, "special", layout.Policy{ChunkSize: 512, StripeCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(ctx, "special", pattern(9_999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(ctx, "normal", pattern(9_999)); err != nil {
+		t.Fatal(err)
+	}
+	_, sp, _ := m.Stat(ctx, "special")
+	_, np, _ := m.Stat(ctx, "normal")
+	if sp.StripeCount != 16 || np.StripeCount != 2 {
+		t.Fatalf("special=%+v normal=%+v", sp, np)
+	}
+}
+
+func TestPolicyChangeDoesNotBreakOldBlobs(t *testing.T) {
+	// Old blobs carry their manifest; retuning the default must not
+	// affect how they are read.
+	_, m := boot(t)
+	ctx := ctxT(t, 20*time.Second)
+	data := pattern(20_000)
+	if err := m.Write(ctx, "old", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDefaultPolicy(ctx, layout.Policy{ChunkSize: 100, StripeCount: 11}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(ctx, "old")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("old blob unreadable after policy change: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 20*time.Second)
+	if err := m.Write(ctx, "gone", pattern(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(ctx, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(ctx, "gone"); !errors.Is(err, layout.ErrNotFound) {
+		t.Fatalf("read after remove = %v", err)
+	}
+	if err := m.Remove(ctx, "gone"); !errors.Is(err, layout.ErrNotFound) {
+		t.Fatalf("double remove = %v", err)
+	}
+}
+
+func TestInvalidPolicyRejected(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 10*time.Second)
+	if err := m.SetDefaultPolicy(ctx, layout.Policy{ChunkSize: 0, StripeCount: 4}); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+	if err := m.SetPolicy(ctx, "x", layout.Policy{ChunkSize: 8, StripeCount: -1}); err == nil {
+		t.Fatal("negative stripe count accepted")
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 60*time.Second)
+	n := 0
+	f := func(data []byte, chunk, stripes uint8) bool {
+		n++
+		pol := layout.Policy{
+			ChunkSize:   int(chunk%64) + 1,
+			StripeCount: int(stripes%8) + 1,
+		}
+		name := fmt.Sprintf("prop-%d", n)
+		if err := m.SetPolicy(ctx, name, pol); err != nil {
+			return false
+		}
+		if err := m.Write(ctx, name, data); err != nil {
+			return false
+		}
+		got, err := m.Read(ctx, name)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParityReconstructsLostStripe(t *testing.T) {
+	c, m := boot(t)
+	ctx := ctxT(t, 30*time.Second)
+	pol := layout.Policy{ChunkSize: 512, StripeCount: 4, Parity: true}
+	if err := m.SetPolicy(ctx, "ec", pol); err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(10_000)
+	if err := m.Write(ctx, "ec", data); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy one stripe object outright (both replicas).
+	rc := c.NewRadosClient("client.evil")
+	if err := rc.RefreshMap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Remove(ctx, "blobs", "ec.s2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(ctx, "ec")
+	if err != nil {
+		t.Fatalf("read with lost stripe: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstruction produced wrong bytes")
+	}
+}
+
+func TestParityCannotCoverTwoLosses(t *testing.T) {
+	c, m := boot(t)
+	ctx := ctxT(t, 30*time.Second)
+	pol := layout.Policy{ChunkSize: 512, StripeCount: 4, Parity: true}
+	if err := m.SetPolicy(ctx, "ec2", pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(ctx, "ec2", pattern(10_000)); err != nil {
+		t.Fatal(err)
+	}
+	rc := c.NewRadosClient("client.evil")
+	if err := rc.RefreshMap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []string{"ec2.s0", "ec2.s1"} {
+		if err := rc.Remove(ctx, "blobs", obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Read(ctx, "ec2"); err == nil {
+		t.Fatal("double loss silently read")
+	}
+}
+
+func TestNoParityLossIsAnError(t *testing.T) {
+	c, m := boot(t)
+	ctx := ctxT(t, 30*time.Second)
+	if err := m.SetPolicy(ctx, "plain", layout.Policy{ChunkSize: 512, StripeCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(ctx, "plain", pattern(5_000)); err != nil {
+		t.Fatal(err)
+	}
+	rc := c.NewRadosClient("client.evil")
+	if err := rc.RefreshMap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Remove(ctx, "blobs", "plain.s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(ctx, "plain"); err == nil {
+		t.Fatal("lost stripe read as success without parity")
+	}
+}
+
+func TestParityRoundTripSizes(t *testing.T) {
+	_, m := boot(t)
+	ctx := ctxT(t, 30*time.Second)
+	pol := layout.Policy{ChunkSize: 100, StripeCount: 3, Parity: true}
+	for _, n := range []int{0, 1, 99, 100, 101, 300, 12_345} {
+		name := fmt.Sprintf("ecrt-%d", n)
+		if err := m.SetPolicy(ctx, name, pol); err != nil {
+			t.Fatal(err)
+		}
+		data := pattern(n)
+		if err := m.Write(ctx, name, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Read(ctx, name)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%d bytes: %v", n, err)
+		}
+	}
+}

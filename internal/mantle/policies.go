@@ -1,0 +1,98 @@
+package mantle
+
+// Canonical policies used by the examples and the benchmark harness.
+// Each is a complete Mantle policy script: it reads `whoami` and `mds`,
+// and assigns `targets` (rank → load to shed), optionally `mode` and a
+// `when()` predicate.
+
+// PolicyHalfToNext is the exact policy fragment from the paper
+// (§6.2.2): send half of this server's load to the next ranked server —
+// the "Proxy Mode (Half)" configuration.
+const PolicyHalfToNext = `
+mode = "proxy"
+targets[whoami + 1] = mds[whoami]["load"] / 2
+`
+
+// PolicyAllToNext migrates all load off this server ("Proxy Mode
+// (Full)"): the first server keeps doing request handling and
+// administrative work while the next server does all processing.
+const PolicyAllToNext = `
+mode = "proxy"
+targets[whoami + 1] = mds[whoami]["load"]
+`
+
+// PolicyClientHalf is the client-mode counterpart of PolicyHalfToNext.
+const PolicyClientHalf = `
+mode = "client"
+targets[whoami + 1] = mds[whoami]["load"] / 2
+`
+
+// PolicySequencer is the custom sequencer-aware balancer behind the
+// "Mantle" curve of Figure 9: spread load evenly over underloaded
+// servers, but only migrate when this server is meaningfully hotter
+// than the cluster average AND the receivers have settled below it
+// (the conservative when() of §6.2.3).
+const PolicySequencer = `
+-- cluster average load
+local total = 0
+local n = 0
+for r, m in pairs(mds) do
+	total = total + m["load"]
+	n = n + 1
+end
+local avg = total / n
+local my = mds[whoami]["load"]
+
+-- spread the excess across servers below average
+for r, m in pairs(mds) do
+	if r ~= whoami and m["load"] < avg then
+		targets[r] = (my - avg) * (avg - m["load"]) / avg
+	end
+end
+
+mode = "client"
+
+function when()
+	-- migrate only under sustained, significant overload
+	if my < avg * 1.2 then return false end
+	-- and only toward servers that are genuinely underloaded
+	for r, m in pairs(mds) do
+		if r ~= whoami and m["load"] < avg * 0.8 then return true end
+	end
+	return false
+end
+`
+
+// PolicyBackoff demonstrates the save-state backoff of §6.2.3: after a
+// migration, the policy counts down `cooldown` ticks before migrating
+// again, trading responsiveness for stability.
+const PolicyBackoff = `
+if cooldown == nil then cooldown = 0 end
+
+local total = 0
+local n = 0
+for r, m in pairs(mds) do
+	total = total + m["load"]
+	n = n + 1
+end
+local avg = total / n
+local my = mds[whoami]["load"]
+
+local migrating = false
+if cooldown > 0 then
+	cooldown = cooldown - 1
+elseif my > avg * 1.2 then
+	for r, m in pairs(mds) do
+		if r ~= whoami and m["load"] < avg then
+			targets[r] = my - avg
+			migrating = true
+			break
+		end
+	end
+	if migrating then cooldown = 3 end
+end
+
+function when()
+	return migrating
+end
+`

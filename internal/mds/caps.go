@@ -1,0 +1,167 @@
+package mds
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The capability protocol (Shared Resource interface, Section 4.3.1):
+// one client at a time may hold the exclusive cached capability on an
+// inode, operating on its state locally. Competing clients queue; the
+// metadata server recalls the cap from the holder, whose policy decides
+// how promptly it yields:
+//
+//   best-effort — release as soon as recalled (Ceph's default; heavy
+//                 interleaving, most time spent redistributing);
+//   delay       — hold until the grant's lease expires;
+//   quota       — hold until the granted operation budget is consumed.
+//
+// The protocol is cooperative, as in CephFS; an unresponsive holder is
+// force-reclaimed after RecallTimeout.
+
+func (s *Server) handleAcquire(ctx context.Context, r AcquireReq) AcquireResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	ino, fwd, redir := s.resolve(r.Path)
+	switch {
+	case redir >= 0:
+		return AcquireResp{Status: StRedirect, Redirect: redir}
+	case fwd >= 0:
+		// Capabilities are not proxied: the client must talk to the
+		// authority directly.
+		return AcquireResp{Status: StRedirect, Redirect: fwd}
+	case ino == nil:
+		return AcquireResp{Status: StNotFound}
+	}
+
+	s.mu.Lock()
+	if !ino.Policy.Cacheable {
+		s.mu.Unlock()
+		return AcquireResp{Status: StDenied}
+	}
+	if ino.holder == "" {
+		resp := s.grantLocked(ino, r.Client)
+		s.mu.Unlock()
+		return resp
+	}
+	ch := s.enqueueWaiterLocked(ino, r.Client)
+	s.mu.Unlock()
+
+	select {
+	case resp := <-ch:
+		return resp
+	case <-ctx.Done():
+		// The client gave up; withdraw from the queue.
+		s.mu.Lock()
+		for i, w := range ino.waiters {
+			if w.client == r.Client {
+				ino.waiters = append(ino.waiters[:i], ino.waiters[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return AcquireResp{Status: StAgain}
+	}
+}
+
+// grantLocked hands the capability to client. If others are already
+// waiting, a recall chases the grant immediately so the new holder
+// yields per its policy.
+func (s *Server) grantLocked(ino *inode, client wire.Addr) AcquireResp {
+	ino.holder = client
+	ino.grantSeq++
+	ino.recallSent = false
+	ino.Popularity++
+	resp := AcquireResp{
+		Status: StOK,
+		Value:  ino.Value,
+		Quota:  ino.Policy.Quota,
+		Lease:  ino.Policy.Delay,
+	}
+	if len(ino.waiters) > 0 {
+		s.sendRecallLocked(ino)
+	}
+	return resp
+}
+
+// enqueueWaiterLocked queues a contender and triggers a recall.
+func (s *Server) enqueueWaiterLocked(ino *inode, client wire.Addr) chan AcquireResp {
+	ch := make(chan AcquireResp, 1)
+	ino.waiters = append(ino.waiters, &waiter{client: client, ch: ch})
+	s.sendRecallLocked(ino)
+	return ch
+}
+
+// sendRecallLocked pushes a recall to the current holder (once per
+// grant) and arms the force-reclaim timer.
+func (s *Server) sendRecallLocked(ino *inode) {
+	if ino.recallSent || ino.holder == "" || ino.holder == s.Addr() {
+		return
+	}
+	ino.recallSent = true
+	s.net.Send(s.Addr(), ino.holder, RecallMsg{Path: ino.Path})
+
+	seq := ino.grantSeq
+	path := ino.Path
+	holder := ino.holder
+	timeout := s.cfg.RecallTimeout
+	if ino.Policy.Delay > 0 && timeout < 2*ino.Policy.Delay {
+		timeout = 2 * ino.Policy.Delay
+	}
+	time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		cur, ok := s.inodes[path]
+		if !ok || cur.grantSeq != seq || cur.holder != holder {
+			return // the grant was already released
+		}
+		// Force-reclaim from the unresponsive client; local increments it
+		// made since the grant are lost (ZLog recovers via seal).
+		s.releaseLocked(cur, holder, cur.Value)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			s.monc.Log(ctx, "warn", "force-reclaimed cap on "+path+" from "+string(holder)) //nolint:errcheck
+		}()
+	})
+}
+
+func (s *Server) handleRelease(r ReleaseReq) ReleaseResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	s.mu.Lock()
+	ino, ok := s.inodes[r.Path]
+	if !ok {
+		s.mu.Unlock()
+		return ReleaseResp{Status: StNotFound}
+	}
+	rec := s.releaseLocked(ino, r.Client, r.Value)
+	s.mu.Unlock()
+	if rec != nil {
+		s.journal(*rec)
+	}
+	return ReleaseResp{Status: StOK}
+}
+
+// releaseLocked returns the cap, folds the holder's final value into the
+// inode, and grants the next waiter. It returns a journal record to be
+// written outside the lock (nil when the release was a no-op).
+func (s *Server) releaseLocked(ino *inode, client wire.Addr, value uint64) *journalEntry {
+	if ino.holder != client {
+		return nil // stale release (e.g. after force-reclaim)
+	}
+	if value > ino.Value {
+		ino.Value = value
+	}
+	ino.holder = ""
+	ino.recallSent = false
+	if len(ino.waiters) > 0 {
+		next := ino.waiters[0]
+		ino.waiters = ino.waiters[1:]
+		resp := s.grantLocked(ino, next.client)
+		next.ch <- resp
+	}
+	return &journalEntry{Op: "value", Path: ino.Path, Value: ino.Value}
+}

@@ -1,0 +1,144 @@
+package mds
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/rados"
+	"repro/internal/types"
+)
+
+// Metadata mutations are journaled to RADOS, which is what lets a
+// surviving rank recover a failed peer's state: "recovery is the same
+// as (and is inherited from) the CephFS metadata service" (Section
+// 5.2.2). The journal is an append-only object of JSON lines per rank.
+
+// journalEntry is one journal record.
+type journalEntry struct {
+	Op     string    `json:"op"` // create | value | policy | export | import
+	Path   string    `json:"path"`
+	Type   InodeType `json:"type,omitempty"`
+	Value  uint64    `json:"value,omitempty"`
+	Policy CapPolicy `json:"policy,omitempty"`
+	Mode   string    `json:"mode,omitempty"`
+	Target int       `json:"target,omitempty"`
+}
+
+func journalObject(rank int) string { return fmt.Sprintf("mds.journal.%d", rank) }
+
+// journal appends one record to this rank's journal object. Journal
+// failures are reported to the cluster log but do not fail the client
+// operation (matching the advisory checkpointing role it plays here).
+func (s *Server) journal(e journalEntry) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.rc.Append(ctx, s.cfg.Pool, journalObject(s.cfg.Rank), line); err != nil {
+		lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
+		s.monc.Log(lctx, "error", "journal append failed: "+err.Error()) //nolint:errcheck
+		lcancel()
+	}
+}
+
+// replayJournal folds a rank's journal into an inode table.
+func (s *Server) replayJournal(ctx context.Context, rank int) (map[string]*inode, error) {
+	raw, err := s.rc.Read(ctx, s.cfg.Pool, journalObject(rank))
+	if err != nil {
+		if errors.Is(err, rados.ErrNotFound) {
+			return map[string]*inode{}, nil
+		}
+		return nil, err
+	}
+	inodes := make(map[string]*inode)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			continue // skip torn record
+		}
+		switch e.Op {
+		case "create":
+			if _, ok := inodes[e.Path]; !ok {
+				inodes[e.Path] = &inode{Inode: Inode{Path: e.Path, Type: e.Type, Policy: e.Policy}}
+			}
+		case "value":
+			if ino, ok := inodes[e.Path]; ok && e.Value > ino.Value {
+				ino.Value = e.Value
+			}
+		case "policy":
+			if ino, ok := inodes[e.Path]; ok {
+				ino.Policy = e.Policy
+			}
+		case "export":
+			delete(inodes, e.Path)
+		case "import":
+			if _, ok := inodes[e.Path]; !ok {
+				inodes[e.Path] = &inode{Inode: Inode{Path: e.Path, Type: e.Type, Policy: e.Policy, Value: e.Value}}
+			}
+		}
+	}
+	return inodes, nil
+}
+
+// checkTakeover reacts to MDS map changes: when a rank is marked down
+// and this server is the lowest-ranked survivor, it replays the failed
+// rank's journal and adopts its inodes.
+func (s *Server) checkTakeover(m *types.MDSMap) {
+	up := m.UpRanks()
+	if len(up) == 0 || up[0] != s.cfg.Rank {
+		return
+	}
+	var downRanks []int
+	for r, info := range m.Ranks {
+		if info.State == types.StateDown && r != s.cfg.Rank {
+			downRanks = append(downRanks, r)
+		}
+	}
+	for _, r := range downRanks {
+		go s.takeover(r)
+	}
+}
+
+// takeover adopts a failed rank's namespace.
+func (s *Server) takeover(rank int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	recovered, err := s.replayJournal(ctx, rank)
+	if err != nil {
+		s.monc.Log(ctx, "error", fmt.Sprintf("takeover of mds.%d failed: %v", rank, err)) //nolint:errcheck
+		return
+	}
+	adopted := 0
+	s.mu.Lock()
+	for path, ino := range recovered {
+		if _, ok := s.inodes[path]; ok {
+			continue
+		}
+		// A previously forwarded/redirected path now lives here.
+		delete(s.forward, path)
+		delete(s.redirect, path)
+		s.inodes[path] = ino
+		adopted++
+	}
+	s.mu.Unlock()
+	if adopted == 0 {
+		return
+	}
+	// Point clients at the new authority.
+	for path := range recovered {
+		if err := s.monc.SetService(ctx, types.MapMDS, AuthKey(path), fmt.Sprint(s.cfg.Rank)); err != nil {
+			s.monc.Log(ctx, "error", "takeover auth update failed: "+err.Error()) //nolint:errcheck
+		}
+	}
+	s.monc.Log(ctx, "info", fmt.Sprintf("mds.%d adopted %d inodes from failed mds.%d", s.cfg.Rank, adopted, rank)) //nolint:errcheck
+}

@@ -1,0 +1,532 @@
+package mds
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Config configures one metadata server rank.
+type Config struct {
+	Rank int
+	Mons []int
+	// Pool is the RADOS pool holding the rank's journal and (for
+	// Mantle) balancer policy objects.
+	Pool string
+
+	// HandleTime models the CPU cost of receiving/parsing/responding to
+	// one client request. ServiceTime models the cost of the actual
+	// metadata operation (e.g. finding the tail of the log). Proxy mode
+	// splits these across two servers, which is why it outperforms one
+	// server doing both (Section 6.2.1, chain-replication analogy).
+	HandleTime  time.Duration
+	ServiceTime time.Duration
+	// CoherenceTime is the scatter-gather cost a client-mode import
+	// imposes on the former authority per access (Section 6.2.1's
+	// "strain on the server housing Sequencer 2").
+	CoherenceTime time.Duration
+
+	// BalanceInterval is the balancer tick (Ceph default 10 s; the
+	// harness compresses it). Zero disables the balancing loop.
+	BalanceInterval time.Duration
+	// Balancer decides migrations each tick; nil disables balancing.
+	Balancer Balancer
+	// BeaconInterval reports liveness to the monitors; zero disables.
+	BeaconInterval time.Duration
+	// RecallTimeout force-reclaims a capability from an unresponsive
+	// client (Section 5.2.2: "a timeout is used to determine when a
+	// client should be considered unavailable").
+	RecallTimeout time.Duration
+	// JournalEvery checkpoints a sequencer's value to the journal every
+	// N round-trip increments (creates and cap releases always journal).
+	JournalEvery int
+}
+
+func (c *Config) defaults() {
+	if c.Pool == "" {
+		c.Pool = "metadata"
+	}
+	if c.RecallTimeout <= 0 {
+		c.RecallTimeout = 2 * time.Second
+	}
+	if c.JournalEvery <= 0 {
+		c.JournalEvery = 256
+	}
+}
+
+// waiter is one queued capability request.
+type waiter struct {
+	client wire.Addr
+	ch     chan AcquireResp
+}
+
+// inode is the runtime inode: persistent state plus capability
+// bookkeeping.
+type inode struct {
+	Inode
+	holder     wire.Addr
+	waiters    []*waiter
+	recallSent bool
+	grantSeq   uint64 // increments per grant; lets recall timers detect stale grants
+	sinceCkpt  int    // round-trip increments since last journal checkpoint
+}
+
+// Server is one metadata server rank.
+type Server struct {
+	cfg  Config
+	net  *wire.Network
+	monc *mon.Client
+	rc   *rados.Client
+
+	mu       sync.Mutex
+	inodes   map[string]*inode
+	forward  map[string]int // proxy-mode forwarding: path -> rank
+	redirect map[string]int // client-mode redirect: path -> rank
+	mdsMap   *types.MDSMap
+	ops      int64 // requests handled since last balance tick
+	// balancerErr remembers the last policy failure for introspection.
+	balancerErr error
+
+	cpuMu   sync.Mutex // serializes simulated CPU work
+	cpuDebt time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer builds an MDS rank bound to the fabric.
+func NewServer(net *wire.Network, cfg Config) *Server {
+	cfg.defaults()
+	return &Server{
+		cfg:      cfg,
+		net:      net,
+		monc:     mon.NewClient(net, MDSAddr(cfg.Rank), cfg.Mons),
+		rc:       rados.NewClient(net, wire.Addr(string(MDSAddr(cfg.Rank))+".rados"), cfg.Mons),
+		inodes:   make(map[string]*inode),
+		forward:  make(map[string]int),
+		redirect: make(map[string]int),
+		mdsMap:   types.NewMDSMap(),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Addr returns this rank's wire address.
+func (s *Server) Addr() wire.Addr { return MDSAddr(s.cfg.Rank) }
+
+// Rank returns this server's rank.
+func (s *Server) Rank() int { return s.cfg.Rank }
+
+// Start registers the rank, boots it into the MDS map, and launches the
+// balance/beacon loops.
+func (s *Server) Start(ctx context.Context) error {
+	s.net.Listen(s.Addr(), s.handle)
+	if err := s.monc.BootMDS(ctx, s.cfg.Rank, s.Addr()); err != nil {
+		s.net.Unlisten(s.Addr())
+		return fmt.Errorf("mds.%d: boot: %w", s.cfg.Rank, err)
+	}
+	if err := s.monc.Subscribe(ctx, s.Addr(), types.MapMDS); err != nil {
+		return fmt.Errorf("mds.%d: subscribe: %w", s.cfg.Rank, err)
+	}
+	if m, err := s.monc.GetMDSMap(ctx); err == nil {
+		s.updateMDSMap(m)
+	}
+	if s.cfg.BalanceInterval > 0 {
+		s.wg.Add(1)
+		go s.balanceLoop()
+	}
+	if s.cfg.BeaconInterval > 0 {
+		s.wg.Add(1)
+		go s.beaconLoop()
+	}
+	return nil
+}
+
+// Stop halts the rank and removes it from the fabric.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.net.Unlisten(s.Addr())
+	s.wg.Wait()
+}
+
+// work simulates CPU time on this rank's single execution resource.
+// Sub-millisecond costs are accumulated as debt and paid in batches,
+// because time.Sleep's granularity (~1 ms on many kernels) would
+// otherwise inflate every operation to the granularity floor. Sleep
+// overshoot is credited back, so the long-run capacity is exactly
+// 1/cost operations per second.
+func (s *Server) work(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.cpuMu.Lock()
+	s.cpuDebt += d
+	if s.cpuDebt >= time.Millisecond {
+		t0 := time.Now()
+		time.Sleep(s.cpuDebt)
+		s.cpuDebt -= time.Since(t0)
+	}
+	s.cpuMu.Unlock()
+}
+
+func (s *Server) countOp() {
+	s.mu.Lock()
+	s.ops++
+	s.mu.Unlock()
+}
+
+// OpsSinceTick reports the raw request count since the last balance
+// tick (test/benchmark instrumentation).
+func (s *Server) OpsSinceTick() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// BalancerErr reports the last balancer failure, if any.
+func (s *Server) BalancerErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.balancerErr
+}
+
+func (s *Server) updateMDSMap(m *types.MDSMap) {
+	s.mu.Lock()
+	cur := s.mdsMap
+	if m.Epoch > cur.Epoch {
+		s.mdsMap = m
+	} else {
+		m = nil
+	}
+	s.mu.Unlock()
+	if m != nil {
+		s.checkTakeover(m)
+	}
+}
+
+// handle is the single fabric endpoint for this rank.
+func (s *Server) handle(ctx context.Context, from wire.Addr, req any) (any, error) {
+	switch r := req.(type) {
+	case OpenReq:
+		return s.handleOpen(r), nil
+	case NextReq:
+		return s.handleNext(ctx, r), nil
+	case ReadReq:
+		return s.handleRead(ctx, r), nil
+	case AcquireReq:
+		return s.handleAcquire(ctx, r), nil
+	case ReleaseReq:
+		return s.handleRelease(r), nil
+	case StatReq:
+		return s.handleStat(r), nil
+	case ListReq:
+		return s.handleList(r), nil
+	case SetPolicyReq:
+		return s.handleSetPolicy(r), nil
+	case SetValueReq:
+		return s.handleSetValue(r), nil
+	case ExportMsg:
+		return s.handleImport(r), nil
+	case CoherenceMsg:
+		s.work(s.cfg.CoherenceTime)
+		s.countOp()
+		return true, nil
+	case mon.MapNotify:
+		if r.MDS != nil {
+			s.updateMDSMap(r.MDS)
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("mds.%d: unknown request %T from %s", s.cfg.Rank, req, from)
+}
+
+func (s *Server) handleOpen(r OpenReq) OpenResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	s.mu.Lock()
+	if tgt, ok := s.redirect[r.Path]; ok {
+		s.mu.Unlock()
+		return OpenResp{Status: StRedirect, Redirect: tgt}
+	}
+	ino, ok := s.inodes[r.Path]
+	if !ok {
+		ino = &inode{Inode: Inode{Path: r.Path, Type: r.Type}}
+		if ino.Type == "" {
+			ino.Type = TypeFile
+		}
+		if r.Policy != nil {
+			ino.Policy = *r.Policy
+		}
+		s.inodes[r.Path] = ino
+		rec := journalEntry{Op: "create", Path: r.Path, Type: ino.Type, Policy: ino.Policy}
+		s.mu.Unlock()
+		s.journal(rec)
+		return OpenResp{Status: StOK}
+	}
+	s.mu.Unlock()
+	_ = ino
+	return OpenResp{Status: StOK}
+}
+
+// resolve finds the inode or the forwarding decision for a path.
+func (s *Server) resolve(path string) (ino *inode, fwd int, redir int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tgt, ok := s.redirect[path]; ok {
+		return nil, -1, tgt
+	}
+	if tgt, ok := s.forward[path]; ok {
+		return nil, tgt, -1
+	}
+	if ino, ok := s.inodes[path]; ok {
+		return ino, -1, -1
+	}
+	return nil, -1, -1
+}
+
+func (s *Server) handleNext(ctx context.Context, r NextReq) NextResp {
+	s.countOp()
+	ino, fwd, redir := s.resolve(r.Path)
+	switch {
+	case redir >= 0:
+		// Client-mode redirect: cheap, no service work.
+		return NextResp{Status: StRedirect, Redirect: redir}
+	case fwd >= 0 && !r.Proxied:
+		// Proxy mode: this rank pays request handling, the authority
+		// pays the service cost (the pipeline split of Section 6.2.1).
+		s.work(s.cfg.HandleTime)
+		resp, err := s.net.Call(ctx, s.Addr(), MDSAddr(fwd), NextReq{Path: r.Path, Proxied: true})
+		if err != nil {
+			return NextResp{Status: StAgain}
+		}
+		return resp.(NextResp)
+	case ino == nil:
+		return NextResp{Status: StNotFound}
+	}
+
+	if r.Proxied {
+		s.work(s.cfg.ServiceTime)
+	} else {
+		s.work(s.cfg.HandleTime + s.cfg.ServiceTime)
+	}
+	s.coherence(ctx, ino)
+
+	v, ok := s.advance(ino)
+	if !ok {
+		return NextResp{Status: StAgain}
+	}
+	return NextResp{Status: StOK, Value: v}
+}
+
+func (s *Server) handleRead(ctx context.Context, r ReadReq) ReadResp {
+	s.countOp()
+	ino, fwd, redir := s.resolve(r.Path)
+	switch {
+	case redir >= 0:
+		return ReadResp{Status: StRedirect, Redirect: redir}
+	case fwd >= 0 && !r.Proxied:
+		s.work(s.cfg.HandleTime)
+		resp, err := s.net.Call(ctx, s.Addr(), MDSAddr(fwd), ReadReq{Path: r.Path, Proxied: true})
+		if err != nil {
+			return ReadResp{Status: StAgain}
+		}
+		return resp.(ReadResp)
+	case ino == nil:
+		return ReadResp{Status: StNotFound}
+	}
+	s.work(s.cfg.HandleTime)
+	v, ok2 := s.currentValue(ino)
+	if !ok2 {
+		return ReadResp{Status: StAgain}
+	}
+	return ReadResp{Status: StOK, Value: v}
+}
+
+// currentValue returns the authoritative counter value, first reclaiming
+// any outstanding cached capability (a read by another client revokes
+// exclusivity, as in CephFS).
+func (s *Server) currentValue(ino *inode) (uint64, bool) {
+	s.mu.Lock()
+	if ino.holder == "" {
+		v := ino.Value
+		s.mu.Unlock()
+		return v, true
+	}
+	ch := s.enqueueWaiterLocked(ino, s.Addr())
+	s.mu.Unlock()
+	select {
+	case resp := <-ch:
+		s.mu.Lock()
+		v := resp.Value
+		s.releaseLocked(ino, s.Addr(), v)
+		s.mu.Unlock()
+		return v, true
+	case <-time.After(s.cfg.RecallTimeout * 2):
+		return 0, false
+	}
+}
+
+// coherence pays the client-mode scatter-gather tax: an imported inode
+// consults its former authority on every access.
+func (s *Server) coherence(ctx context.Context, ino *inode) {
+	s.mu.Lock()
+	imported := ino.ImportedClient
+	origin := ino.OriginRank
+	s.mu.Unlock()
+	if !imported || s.cfg.CoherenceTime <= 0 || origin == s.cfg.Rank {
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_, _ = s.net.Call(cctx, s.Addr(), MDSAddr(origin), CoherenceMsg{Path: ino.Path})
+}
+
+// advance increments the sequencer value server-side, first reclaiming
+// any outstanding cached capability.
+func (s *Server) advance(ino *inode) (uint64, bool) {
+	s.mu.Lock()
+	if ino.holder != "" {
+		// A client holds the cap; recall it and wait via the waiter
+		// queue like any other contender.
+		ch := s.enqueueWaiterLocked(ino, s.Addr())
+		s.mu.Unlock()
+		select {
+		case resp := <-ch:
+			s.mu.Lock()
+			// We now "hold" the cap as the server; consume one value and
+			// release immediately.
+			ino.Value = resp.Value + 1
+			v := ino.Value
+			s.releaseLocked(ino, s.Addr(), v)
+			s.mu.Unlock()
+			return v, true
+		case <-time.After(s.cfg.RecallTimeout * 2):
+			return 0, false
+		}
+	}
+	ino.Value++
+	v := ino.Value
+	ino.Popularity++
+	ino.sinceCkpt++
+	var rec *journalEntry
+	if ino.sinceCkpt >= s.cfg.JournalEvery {
+		ino.sinceCkpt = 0
+		rec = &journalEntry{Op: "value", Path: ino.Path, Value: v}
+	}
+	s.mu.Unlock()
+	if rec != nil {
+		s.journal(*rec)
+	}
+	return v, true
+}
+
+func (s *Server) handleStat(r StatReq) StatResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	ino, fwd, redir := s.resolve(r.Path)
+	switch {
+	case redir >= 0:
+		return StatResp{Status: StRedirect, Redirect: redir}
+	case fwd >= 0:
+		return StatResp{Status: StRedirect, Redirect: fwd}
+	case ino == nil:
+		return StatResp{Status: StNotFound}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatResp{Status: StOK, Inode: ino.Inode}
+}
+
+func (s *Server) handleList(r ListReq) ListResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var paths []string
+	for p := range s.inodes {
+		if strings.HasPrefix(p, r.Prefix) {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	return ListResp{Status: StOK, Paths: paths}
+}
+
+func (s *Server) handleSetPolicy(r SetPolicyReq) SetPolicyResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.inodes[r.Path]
+	if !ok {
+		return SetPolicyResp{Status: StNotFound}
+	}
+	ino.Policy = r.Policy
+	return SetPolicyResp{Status: StOK}
+}
+
+// handleSetValue raises a sequencer counter monotonically (File Type
+// interface; ZLog recovery installs the recomputed tail this way).
+func (s *Server) handleSetValue(r SetValueReq) SetValueResp {
+	s.work(s.cfg.HandleTime)
+	s.countOp()
+	ino, fwd, redir := s.resolve(r.Path)
+	switch {
+	case redir >= 0:
+		return SetValueResp{Status: StRedirect, Redirect: redir}
+	case fwd >= 0:
+		return SetValueResp{Status: StRedirect, Redirect: fwd}
+	case ino == nil:
+		return SetValueResp{Status: StNotFound}
+	}
+	s.mu.Lock()
+	if ino.holder != "" {
+		// Chase the outstanding capability so the retry can proceed
+		// (during ZLog recovery the holder has typically crashed and the
+		// recall timer force-reclaims).
+		s.sendRecallLocked(ino)
+		s.mu.Unlock()
+		return SetValueResp{Status: StAgain}
+	}
+	if r.Value > ino.Value {
+		ino.Value = r.Value
+	}
+	v := ino.Value
+	s.mu.Unlock()
+	s.journal(journalEntry{Op: "value", Path: r.Path, Value: v})
+	return SetValueResp{Status: StOK}
+}
+
+// ---- beacons ----
+
+func (s *Server) beaconLoop() {
+	defer s.wg.Done()
+	ctx0, cancel0 := context.WithTimeout(context.Background(), s.cfg.BeaconInterval*2)
+	s.monc.Beacon(ctx0, types.EntityMDS, s.cfg.Rank)
+	cancel0()
+	ticker := time.NewTicker(s.cfg.BeaconInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.BeaconInterval*2)
+		s.monc.Beacon(ctx, types.EntityMDS, s.cfg.Rank)
+		cancel()
+	}
+}
+
+// ---- helpers ----
+
+func loadKey(rank int) string { return "mds.load." + strconv.Itoa(rank) }

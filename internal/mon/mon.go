@@ -1,0 +1,646 @@
+// Package mon implements the Malacology monitor service: a small Paxos
+// quorum that integrates cluster-state changes into epoch-versioned maps,
+// answers requests from out-of-date clients, and pushes updates to
+// subscribed daemons (Section 4.1 of the paper). On top of the consensus
+// engine it exposes:
+//
+//   - the Service Metadata interface: a strongly consistent key-value
+//     bucket on each cluster map, with optional host-registered
+//     validators (authorization / sanitization hooks);
+//   - dynamic object-interface installation: script classes embedded in
+//     the OSDMap and propagated cluster-wide (Section 4.2, Figure 8);
+//   - Mantle balancer-version management (Section 5.1.1);
+//   - the centralized cluster log (Section 5.1.3).
+//
+// Proposals are batched: pending updates accumulate and are committed as
+// one Paxos value per proposal interval (1 s by default in Ceph; the
+// paper tunes it to ~222 ms on a 3-monitor quorum).
+package mon
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Config describes one monitor.
+type Config struct {
+	// ID is this monitor's rank.
+	ID int
+	// Peers lists all monitor ranks, including this one.
+	Peers []int
+	// ProposalInterval batches updates; one Paxos proposal fires per
+	// interval when updates are pending.
+	ProposalInterval time.Duration
+	// GossipFanout bounds how many OSD subscribers receive a direct push
+	// of each OSDMap update; the rest learn through peer-to-peer gossip
+	// (Section 4.4). Zero means push to every subscriber.
+	GossipFanout int
+	// BeaconTimeout marks daemons down when their liveness beacons go
+	// silent for this long; zero disables failure detection.
+	BeaconTimeout time.Duration
+	// Paxos overrides consensus timing; zero values take defaults.
+	Paxos paxos.Config
+}
+
+// Addr returns the wire address of monitor id.
+func Addr(id int) wire.Addr {
+	return wire.Addr(types.EntityName(types.EntityMon, id))
+}
+
+// LogEntry is one line of the centralized cluster log.
+type LogEntry struct {
+	Seq    int       `json:"seq"`
+	Time   time.Time `json:"time"`
+	Level  string    `json:"level"`
+	Source string    `json:"source"`
+	Msg    string    `json:"msg"`
+}
+
+// Validator inspects an op before it is admitted to the proposal queue.
+// Returning an error rejects the whole update. This is the hook the paper
+// describes for service-specific logic on the Service Metadata interface
+// (authorization control, value sanitization).
+type Validator func(op types.Op) error
+
+// ---- RPC message types ----
+
+// SubmitReq asks the monitor to commit an update. Forwarded marks a
+// monitor-to-monitor relay, which is never relayed again (hop bound).
+type SubmitReq struct {
+	Update    types.Update
+	Forwarded bool
+}
+
+// SubmitResp reports the outcome; on a non-leader monitor with
+// forwarding disabled, Leader hints where to retry.
+type SubmitResp struct {
+	OK     bool
+	Err    string
+	Leader int
+}
+
+// GetMapReq fetches the newest map of the given kind. Reads are served
+// by the leader for read-your-writes consistency; Forwarded bounds the
+// relay to one hop.
+type GetMapReq struct {
+	Kind      string
+	Forwarded bool
+}
+
+// GetMapResp carries the requested map (one field set).
+type GetMapResp struct {
+	OSD *types.OSDMap
+	MDS *types.MDSMap
+}
+
+// SubscribeReq registers addr for push notification of map changes.
+type SubscribeReq struct {
+	Addr  wire.Addr
+	Kinds []string
+}
+
+// MapNotify is pushed to subscribers when a map changes.
+type MapNotify struct {
+	Kind string
+	OSD  *types.OSDMap
+	MDS  *types.MDSMap
+}
+
+// BeaconReq is a daemon liveness report (Kind is "osd" or "mds").
+type BeaconReq struct {
+	Kind string
+	ID   int
+}
+
+// LogReq appends to the centralized cluster log.
+type LogReq struct {
+	Level  string
+	Source string
+	Msg    string
+}
+
+// GetLogReq fetches the cluster log tail.
+type GetLogReq struct{ Last int }
+
+// GetLogResp returns log entries.
+type GetLogResp struct{ Entries []LogEntry }
+
+// pendingUpdate couples an update with its commit signal.
+type pendingUpdate struct {
+	u    types.Update
+	done chan error
+}
+
+// Monitor is one daemon of the monitor quorum.
+type Monitor struct {
+	cfg Config
+	net *wire.Network
+	px  *paxos.Node
+
+	mu          sync.Mutex
+	osdMap      *types.OSDMap
+	mdsMap      *types.MDSMap
+	log         []LogEntry
+	logSeq      int
+	pending     []pendingUpdate
+	subscribers map[wire.Addr]map[string]bool
+	validators  []Validator
+	lastBeacon  map[string]time.Time // "kind.id" -> last report
+	// commitWait maps a batch fingerprint to the updates awaiting it; we
+	// simply signal the pending set attached to each proposal.
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New constructs a monitor bound to the fabric. Call Start to join the
+// quorum.
+func New(net *wire.Network, cfg Config) *Monitor {
+	if cfg.ProposalInterval <= 0 {
+		cfg.ProposalInterval = time.Second
+	}
+	if cfg.Paxos.HeartbeatInterval <= 0 {
+		cfg.Paxos = paxos.DefaultConfig()
+	}
+	m := &Monitor{
+		cfg:         cfg,
+		net:         net,
+		osdMap:      types.NewOSDMap(),
+		mdsMap:      types.NewMDSMap(),
+		subscribers: make(map[wire.Addr]map[string]bool),
+		lastBeacon:  make(map[string]time.Time),
+		stopCh:      make(chan struct{}),
+	}
+	peers := make([]paxos.NodeID, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		peers[i] = paxos.NodeID(p)
+	}
+	tr := &monTransport{net: net, self: paxos.NodeID(cfg.ID), peers: peers}
+	m.px = paxos.NewNode(tr, cfg.Paxos, m.applyCommitted)
+	return m
+}
+
+// monTransport carries Paxos traffic over the shared monitor endpoint.
+type monTransport struct {
+	net   *wire.Network
+	self  paxos.NodeID
+	peers []paxos.NodeID
+}
+
+func (t *monTransport) Call(ctx context.Context, to paxos.NodeID, msg paxos.Msg) (paxos.Msg, error) {
+	r, err := t.net.Call(ctx, Addr(int(t.self)), Addr(int(to)), msg)
+	if err != nil {
+		return paxos.Msg{}, err
+	}
+	return r.(paxos.Msg), nil
+}
+
+func (t *monTransport) Self() paxos.NodeID    { return t.self }
+func (t *monTransport) Peers() []paxos.NodeID { return t.peers }
+
+// Start registers the monitor on the fabric and launches the proposal
+// and election loops.
+func (m *Monitor) Start() {
+	m.net.Listen(Addr(m.cfg.ID), m.handle)
+	m.px.Start()
+	m.wg.Add(1)
+	go m.proposalLoop()
+	if m.cfg.BeaconTimeout > 0 {
+		m.wg.Add(1)
+		go m.beaconLoop()
+	}
+}
+
+// Stop removes the monitor from the fabric.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	m.px.Stop()
+	m.net.Unlisten(Addr(m.cfg.ID))
+	m.wg.Wait()
+}
+
+// IsLeader reports whether this monitor currently leads the quorum.
+func (m *Monitor) IsLeader() bool { return m.px.IsLeader() }
+
+// Lead forces this monitor to run an election now; used by bootstrap
+// code and tests that cannot wait for timeout-driven elections.
+func (m *Monitor) Lead(ctx context.Context) error { return m.px.BecomeLeader(ctx) }
+
+// RegisterValidator installs a pre-commit hook on this monitor. Only the
+// leader consults validators, so install the same hooks on every monitor.
+func (m *Monitor) RegisterValidator(v Validator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.validators = append(m.validators, v)
+}
+
+// handle is the single fabric endpoint: Paxos traffic and client RPCs.
+func (m *Monitor) handle(ctx context.Context, from wire.Addr, req any) (any, error) {
+	switch r := req.(type) {
+	case paxos.Msg:
+		return m.px.Handle(ctx, r)
+	case SubmitReq:
+		return m.handleSubmit(ctx, r)
+	case GetMapReq:
+		return m.handleGetMap(ctx, r)
+	case SubscribeReq:
+		m.mu.Lock()
+		if m.subscribers[r.Addr] == nil {
+			m.subscribers[r.Addr] = make(map[string]bool)
+		}
+		for _, k := range r.Kinds {
+			m.subscribers[r.Addr][k] = true
+		}
+		m.mu.Unlock()
+		return true, nil
+	case BeaconReq:
+		m.mu.Lock()
+		m.lastBeacon[fmt.Sprintf("%s.%d", r.Kind, r.ID)] = time.Now()
+		m.mu.Unlock()
+		return true, nil
+	case LogReq:
+		m.appendLog(r.Level, r.Source, r.Msg)
+		return true, nil
+	case GetLogReq:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		var out []LogEntry
+		for _, e := range m.log {
+			if e.Seq > r.Last {
+				out = append(out, e)
+			}
+		}
+		return GetLogResp{Entries: out}, nil
+	}
+	return nil, fmt.Errorf("mon.%d: unknown request %T from %s", m.cfg.ID, req, from)
+}
+
+func (m *Monitor) handleSubmit(ctx context.Context, r SubmitReq) (any, error) {
+	if !m.px.IsLeader() {
+		hint := int(m.px.LeaderHint())
+		if r.Forwarded {
+			return SubmitResp{OK: false, Err: "not leader", Leader: hint}, nil
+		}
+		// Forward to the believed leader rather than bouncing the client;
+		// with no hint, probe the other monitors in rank order.
+		targets := []int{}
+		if hint >= 0 && hint != m.cfg.ID {
+			targets = append(targets, hint)
+		} else {
+			for _, p := range m.cfg.Peers {
+				if p != m.cfg.ID {
+					targets = append(targets, p)
+				}
+			}
+		}
+		fwd := r
+		fwd.Forwarded = true
+		for _, to := range targets {
+			resp, err := m.net.Call(ctx, Addr(m.cfg.ID), Addr(to), fwd)
+			if err != nil {
+				continue
+			}
+			if sr, ok := resp.(SubmitResp); ok && sr.OK {
+				return resp, nil
+			}
+		}
+		return SubmitResp{OK: false, Err: "not leader", Leader: hint}, nil
+	}
+	m.mu.Lock()
+	for _, v := range m.validators {
+		for _, op := range r.Update.Ops {
+			if err := v(op); err != nil {
+				m.mu.Unlock()
+				return SubmitResp{OK: false, Err: err.Error(), Leader: m.cfg.ID}, nil
+			}
+		}
+	}
+	done := make(chan error, 1)
+	m.pending = append(m.pending, pendingUpdate{u: r.Update, done: done})
+	m.mu.Unlock()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			return SubmitResp{OK: false, Err: err.Error(), Leader: m.cfg.ID}, nil
+		}
+		return SubmitResp{OK: true, Leader: m.cfg.ID}, nil
+	case <-ctx.Done():
+		return SubmitResp{OK: false, Err: ctx.Err().Error(), Leader: m.cfg.ID}, nil
+	}
+}
+
+func (m *Monitor) handleGetMap(ctx context.Context, r GetMapReq) (any, error) {
+	if !m.px.IsLeader() && !r.Forwarded {
+		// Serve reads from the leader so a client that just wrote through
+		// a forwarded submit reads its own write. On failure fall back to
+		// this monitor's (possibly slightly stale) state.
+		hint := int(m.px.LeaderHint())
+		if hint >= 0 && hint != m.cfg.ID {
+			fwd := r
+			fwd.Forwarded = true
+			if resp, err := m.net.Call(ctx, Addr(m.cfg.ID), Addr(hint), fwd); err == nil {
+				return resp, nil
+			}
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch r.Kind {
+	case types.MapOSD:
+		return GetMapResp{OSD: m.osdMap.Clone()}, nil
+	case types.MapMDS:
+		return GetMapResp{MDS: m.mdsMap.Clone()}, nil
+	}
+	return nil, fmt.Errorf("mon: unknown map kind %q", r.Kind)
+}
+
+// proposalLoop drains the pending queue once per proposal interval,
+// committing all queued updates as a single Paxos value.
+func (m *Monitor) proposalLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.ProposalInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			m.failPending(fmt.Errorf("monitor stopping"))
+			return
+		case <-ticker.C:
+		}
+		if !m.px.IsLeader() {
+			continue
+		}
+		m.mu.Lock()
+		batch := m.pending
+		m.pending = nil
+		m.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		updates := make([]types.Update, len(batch))
+		for i, p := range batch {
+			updates[i] = p.u
+		}
+		val, err := types.EncodeUpdates(updates)
+		if err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, err = m.px.Propose(ctx, val)
+			cancel()
+		}
+		for _, p := range batch {
+			p.done <- err
+		}
+	}
+}
+
+// beaconLoop is the failure detector: when a daemon's beacons go silent
+// past the timeout, the leader proposes marking it down so placement,
+// balancing, and recovery can react (the paper's "autonomously initiate
+// recovery mechanisms when failures are discovered").
+func (m *Monitor) beaconLoop() {
+	defer m.wg.Done()
+	interval := m.cfg.BeaconTimeout / 2
+	if interval <= 0 {
+		interval = m.cfg.BeaconTimeout
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-ticker.C:
+		}
+		if !m.px.IsLeader() {
+			continue
+		}
+		now := time.Now()
+		m.mu.Lock()
+		var ops []types.Op
+		for key, last := range m.lastBeacon {
+			if now.Sub(last) <= m.cfg.BeaconTimeout {
+				continue
+			}
+			var id int
+			if n, err := fmt.Sscanf(key, "osd.%d", &id); err == nil && n == 1 {
+				if info, ok := m.osdMap.OSDs[id]; ok && info.State == types.StateUp {
+					ops = append(ops, types.Op{Code: types.OpOSDDown, Key: strconv.Itoa(id)})
+				}
+				delete(m.lastBeacon, key)
+			} else if n, err := fmt.Sscanf(key, "mds.%d", &id); err == nil && n == 1 {
+				if info, ok := m.mdsMap.Ranks[id]; ok && info.State == types.StateUp {
+					ops = append(ops, types.Op{Code: types.OpMDSDown, Key: strconv.Itoa(id)})
+				}
+				delete(m.lastBeacon, key)
+			}
+		}
+		if len(ops) > 0 {
+			m.pending = append(m.pending, pendingUpdate{
+				u:    types.Update{Source: fmt.Sprintf("mon.%d", m.cfg.ID), Ops: ops},
+				done: make(chan error, 1),
+			})
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Monitor) failPending(err error) {
+	m.mu.Lock()
+	batch := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, p := range batch {
+		p.done <- err
+	}
+}
+
+// applyCommitted is the Paxos apply callback: decode the batch and fold
+// every op into the state machine, bumping epochs once per touched map.
+func (m *Monitor) applyCommitted(_ uint64, value []byte) {
+	updates, err := types.DecodeUpdates(value)
+	if err != nil {
+		m.appendLog("error", fmt.Sprintf("mon.%d", m.cfg.ID), "undecodable paxos value: "+err.Error())
+		return
+	}
+	m.mu.Lock()
+	osdTouched, mdsTouched := false, false
+	for _, u := range updates {
+		for _, op := range u.Ops {
+			o, md := m.applyOp(u.Source, op)
+			osdTouched = osdTouched || o
+			mdsTouched = mdsTouched || md
+		}
+	}
+	var notifyOSD *types.OSDMap
+	var notifyMDS *types.MDSMap
+	if osdTouched {
+		m.osdMap.Epoch++
+		notifyOSD = m.osdMap.Clone()
+	}
+	if mdsTouched {
+		m.mdsMap.Epoch++
+		notifyMDS = m.mdsMap.Clone()
+	}
+	subs := m.snapshotSubscribersLocked()
+	m.mu.Unlock()
+
+	if notifyOSD != nil {
+		m.pushMap(types.MapOSD, MapNotify{Kind: types.MapOSD, OSD: notifyOSD}, subs, m.cfg.GossipFanout)
+	}
+	if notifyMDS != nil {
+		m.pushMap(types.MapMDS, MapNotify{Kind: types.MapMDS, MDS: notifyMDS}, subs, 0)
+	}
+}
+
+type subscription struct {
+	addr  wire.Addr
+	kinds map[string]bool
+}
+
+func (m *Monitor) snapshotSubscribersLocked() []subscription {
+	out := make([]subscription, 0, len(m.subscribers))
+	for a, kinds := range m.subscribers {
+		ks := make(map[string]bool, len(kinds))
+		for k := range kinds {
+			ks[k] = true
+		}
+		out = append(out, subscription{addr: a, kinds: ks})
+	}
+	return out
+}
+
+// pushMap notifies subscribers of kind. fanout > 0 limits direct pushes
+// (deterministically, by subscriber order) — the remainder rely on the
+// object storage daemons' gossip protocol.
+func (m *Monitor) pushMap(kind string, n MapNotify, subs []subscription, fanout int) {
+	sent := 0
+	for _, s := range subs {
+		if !s.kinds[kind] {
+			continue
+		}
+		if fanout > 0 && sent >= fanout {
+			break
+		}
+		m.net.Send(Addr(m.cfg.ID), s.addr, n)
+		sent++
+	}
+}
+
+// applyOp folds one op into the maps; returns which maps changed.
+func (m *Monitor) applyOp(source string, op types.Op) (osd, mds bool) {
+	switch op.Code {
+	case types.OpOSDBoot:
+		id, _ := strconv.Atoi(op.Key)
+		m.osdMap.OSDs[id] = types.OSDInfo{ID: id, Addr: op.Value, State: types.StateUp}
+		return true, false
+	case types.OpOSDDown:
+		id, _ := strconv.Atoi(op.Key)
+		if info, ok := m.osdMap.OSDs[id]; ok {
+			info.State = types.StateDown
+			m.osdMap.OSDs[id] = info
+			m.appendLogLocked("warn", source, fmt.Sprintf("osd.%d marked down", id))
+		}
+		return true, false
+	case types.OpMDSBoot:
+		rank, _ := strconv.Atoi(op.Key)
+		m.mdsMap.Ranks[rank] = types.MDSInfo{Rank: rank, Addr: op.Value, State: types.StateUp}
+		return false, true
+	case types.OpMDSDown:
+		rank, _ := strconv.Atoi(op.Key)
+		if info, ok := m.mdsMap.Ranks[rank]; ok {
+			info.State = types.StateDown
+			m.mdsMap.Ranks[rank] = info
+			m.appendLogLocked("warn", source, fmt.Sprintf("mds.%d marked down", rank))
+		}
+		return false, true
+	case types.OpPoolCreate:
+		pg, _ := strconv.Atoi(op.Value)
+		reps, _ := strconv.Atoi(op.Aux)
+		if pg <= 0 {
+			pg = 8
+		}
+		if reps <= 0 {
+			reps = 1
+		}
+		m.osdMap.Pools[op.Key] = types.PoolInfo{Name: op.Key, PGNum: pg, Replicas: reps}
+		return true, false
+	case types.OpPoolResize:
+		pi, ok := m.osdMap.Pools[op.Key]
+		if !ok {
+			m.appendLogLocked("error", source, fmt.Sprintf("resize of unknown pool %q ignored", op.Key))
+			return false, false
+		}
+		pg, _ := strconv.Atoi(op.Value)
+		if pg <= pi.PGNum {
+			m.appendLogLocked("error", source, fmt.Sprintf("pool %q resize to %d <= current %d ignored", op.Key, pg, pi.PGNum))
+			return false, false
+		}
+		pi.PGNum = pg
+		m.osdMap.Pools[op.Key] = pi
+		m.appendLogLocked("info", source, fmt.Sprintf("pool %q split to %d PGs", op.Key, pg))
+		return true, false
+	case types.OpClassInstall:
+		prev := m.osdMap.Classes[op.Key]
+		m.osdMap.Classes[op.Key] = types.ClassDef{
+			Name:     op.Key,
+			Version:  prev.Version + 1,
+			Script:   op.Value,
+			Category: op.Aux,
+		}
+		m.appendLogLocked("info", source, fmt.Sprintf("class %q installed (v%d)", op.Key, prev.Version+1))
+		return true, false
+	case types.OpClassRemove:
+		delete(m.osdMap.Classes, op.Key)
+		return true, false
+	case types.OpServiceSet:
+		switch op.Map {
+		case types.MapMDS:
+			m.mdsMap.Service[op.Key] = op.Value
+			return false, true
+		default:
+			m.osdMap.Service[op.Key] = op.Value
+			return true, false
+		}
+	case types.OpServiceDel:
+		switch op.Map {
+		case types.MapMDS:
+			delete(m.mdsMap.Service, op.Key)
+			return false, true
+		default:
+			delete(m.osdMap.Service, op.Key)
+			return true, false
+		}
+	case types.OpBalancerSet:
+		m.mdsMap.BalancerVersion = op.Value
+		m.appendLogLocked("info", source, fmt.Sprintf("balancer version set to %q", op.Value))
+		return false, true
+	}
+	m.appendLogLocked("error", source, fmt.Sprintf("unknown op %q ignored", op.Code))
+	return false, false
+}
+
+func (m *Monitor) appendLog(level, source, msg string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appendLogLocked(level, source, msg)
+}
+
+func (m *Monitor) appendLogLocked(level, source, msg string) {
+	m.logSeq++
+	m.log = append(m.log, LogEntry{
+		Seq:    m.logSeq,
+		Time:   time.Now(),
+		Level:  level,
+		Source: source,
+		Msg:    msg,
+	})
+}

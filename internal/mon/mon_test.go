@@ -1,0 +1,529 @@
+package mon
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// testQuorum boots n monitors with fast timing and elects monitor 0.
+func testQuorum(t *testing.T, net *wire.Network, n int) []*Monitor {
+	t.Helper()
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	var mons []*Monitor
+	for i := 0; i < n; i++ {
+		m := New(net, Config{
+			ID:               i,
+			Peers:            peers,
+			ProposalInterval: 5 * time.Millisecond,
+			Paxos: paxos.Config{
+				HeartbeatInterval: 10 * time.Millisecond,
+				ElectionTimeout:   100 * time.Millisecond,
+			},
+		})
+		m.Start()
+		mons = append(mons, m)
+	}
+	if err := mons[0].Lead(context.Background()); err != nil {
+		t.Fatalf("initial election: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, m := range mons {
+			m.Stop()
+		}
+	})
+	return mons
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestServiceMetadataRoundTrip(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.SetService(ctx, types.MapOSD, "zlog.epoch", "7"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Service["zlog.epoch"] != "7" {
+		t.Fatalf("service data = %v", m.Service)
+	}
+	if m.Epoch == 0 {
+		t.Fatal("epoch not bumped")
+	}
+}
+
+func TestEpochMonotonic(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 10*time.Second)
+
+	var last types.Epoch
+	for i := 0; i < 5; i++ {
+		if err := c.SetService(ctx, types.MapOSD, "k", fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.GetOSDMap(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Epoch <= last {
+			t.Fatalf("epoch %d not greater than %d", m.Epoch, last)
+		}
+		last = m.Epoch
+	}
+}
+
+func TestAllMonitorsConverge(t *testing.T) {
+	net := wire.NewNetwork()
+	mons := testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.InstallClass(ctx, "zlog", "function seal() end", "logging"); err != nil {
+		t.Fatal(err)
+	}
+	// Every monitor's local state machine must converge to the same map.
+	deadline := time.Now().Add(3 * time.Second)
+	for _, m := range mons {
+		for {
+			m.mu.Lock()
+			_, ok := m.osdMap.Classes["zlog"]
+			m.mu.Unlock()
+			if ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("mon.%d never learned the class", m.cfg.ID)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestClassVersioningIncrements(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	for i := 0; i < 3; i++ {
+		if err := c.InstallClass(ctx, "seq", fmt.Sprintf("-- v%d", i), "metadata"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := m.Classes["seq"]
+	if cls.Version != 3 {
+		t.Fatalf("class version = %d, want 3", cls.Version)
+	}
+	if cls.Script != "-- v2" {
+		t.Fatalf("script = %q", cls.Script)
+	}
+}
+
+func TestSubmitViaFollowerForwards(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	// Talk only to a follower; it must forward to the leader.
+	c := NewClient(net, "client.0", []int{2})
+	ctx := ctxT(t, 5*time.Second)
+	if err := c.SetService(ctx, types.MapOSD, "via", "follower"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Service["via"] != "follower" {
+		t.Fatal("forwarded update not applied")
+	}
+}
+
+func TestValidatorRejects(t *testing.T) {
+	net := wire.NewNetwork()
+	mons := testQuorum(t, net, 3)
+	for _, m := range mons {
+		m.RegisterValidator(func(op types.Op) error {
+			if op.Code == types.OpServiceSet && strings.HasPrefix(op.Key, "restricted.") {
+				return fmt.Errorf("key %q requires authorization", op.Key)
+			}
+			return nil
+		})
+	}
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+	err := c.SetService(ctx, types.MapOSD, "restricted.secret", "x")
+	if err == nil || !strings.Contains(err.Error(), "authorization") {
+		t.Fatalf("err = %v, want authorization rejection", err)
+	}
+	// Unrestricted keys still work.
+	if err := c.SetService(ctx, types.MapOSD, "open.key", "y"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscriberReceivesPush(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	var mu sync.Mutex
+	var got []MapNotify
+	net.Listen("osd.0", func(_ context.Context, _ wire.Addr, req any) (any, error) {
+		if n, ok := req.(MapNotify); ok {
+			mu.Lock()
+			got = append(got, n)
+			mu.Unlock()
+		}
+		return nil, nil
+	})
+	if err := c.Subscribe(ctx, "osd.0", types.MapOSD); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallClass(ctx, "counter", "-- body", "metadata"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no push received")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].OSD == nil || got[0].OSD.Classes["counter"].Script != "-- body" {
+		t.Fatalf("notify = %+v", got[0])
+	}
+}
+
+func TestClusterLog(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "mds.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.Log(ctx, "warn", "balancer version changed"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.GetLog(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Source == "mds.0" && strings.Contains(e.Msg, "balancer version") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log entries = %+v", entries)
+	}
+}
+
+func TestBalancerVersionInMDSMap(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.SetBalancerVersion(ctx, "balancer-v3"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.GetMDSMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BalancerVersion != "balancer-v3" {
+		t.Fatalf("balancer version = %q", m.BalancerVersion)
+	}
+}
+
+func TestDaemonLifecycleOps(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	for i := 0; i < 4; i++ {
+		if err := c.BootOSD(ctx, i, wire.Addr(fmt.Sprintf("osd.%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.MarkOSDDown(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BootMDS(ctx, 0, "mds.0"); err != nil {
+		t.Fatal(err)
+	}
+	osd, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := osd.UpOSDs(); len(got) != 3 {
+		t.Fatalf("up OSDs = %v", got)
+	}
+	mds, err := c.GetMDSMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mds.UpRanks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("up MDS ranks = %v", got)
+	}
+}
+
+func TestBatchedProposals(t *testing.T) {
+	// Many concurrent submits within one proposal interval commit in few
+	// Paxos rounds — the batching behavior Fig. 8 depends on.
+	net := wire.NewNetwork()
+	mons := testQuorum(t, net, 3)
+	_ = mons
+	c := NewClient(net, "client.0", []int{0})
+	ctx := ctxT(t, 10*time.Second)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- c.SetService(ctx, types.MapOSD, fmt.Sprintf("k%d", i), "v")
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if m.Service[fmt.Sprintf("k%d", i)] != "v" {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+}
+
+func TestLeaderFailoverServiceContinues(t *testing.T) {
+	net := wire.NewNetwork()
+	mons := testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 15*time.Second)
+
+	if err := c.SetService(ctx, types.MapOSD, "pre", "1"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the leader.
+	mons[0].Stop()
+
+	// Remaining monitors elect a new leader; the service keeps working.
+	c2 := NewClient(net, "client.0", []int{1, 2})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := c2.SetService(ctx, types.MapOSD, "post", "2")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never recovered: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	m, err := c2.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Service["pre"] != "1" || m.Service["post"] != "2" {
+		t.Fatalf("service = %v", m.Service)
+	}
+}
+
+func TestGossipFanoutLimitsPushes(t *testing.T) {
+	net := wire.NewNetwork()
+	peers := []int{0}
+	m := New(net, Config{
+		ID: 0, Peers: peers,
+		ProposalInterval: 5 * time.Millisecond,
+		GossipFanout:     2,
+		Paxos: paxos.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+			ElectionTimeout:   100 * time.Millisecond,
+		},
+	})
+	m.Start()
+	defer m.Stop()
+	if err := m.Lead(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(net, "client.0", []int{0})
+	ctx := ctxT(t, 5*time.Second)
+
+	var mu sync.Mutex
+	pushed := map[wire.Addr]int{}
+	for i := 0; i < 6; i++ {
+		addr := wire.Addr(fmt.Sprintf("osd.%d", i))
+		a := addr
+		net.Listen(addr, func(_ context.Context, _ wire.Addr, req any) (any, error) {
+			if _, ok := req.(MapNotify); ok {
+				mu.Lock()
+				pushed[a]++
+				mu.Unlock()
+			}
+			return nil, nil
+		})
+		if err := c.Subscribe(ctx, addr, types.MapOSD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetService(ctx, types.MapOSD, "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, n := range pushed {
+		total += n
+	}
+	if total == 0 || total > 2 {
+		t.Fatalf("pushes = %d (fanout 2), map %v", total, pushed)
+	}
+}
+
+func TestGetLogSinceFilter(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	for i := 0; i < 3; i++ {
+		if err := c.Log(ctx, "info", fmt.Sprintf("msg-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := c.GetLog(ctx, 0)
+	if err != nil || len(all) < 3 {
+		t.Fatalf("all = %d entries, %v", len(all), err)
+	}
+	// Tail after the first entry's Seq.
+	tail, err := c.GetLog(ctx, all[0].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != len(all)-1 {
+		t.Fatalf("tail = %d entries, want %d", len(tail), len(all)-1)
+	}
+}
+
+func TestServiceDelete(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.SetService(ctx, types.MapOSD, "temp", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DelService(ctx, types.MapOSD, "temp"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Service["temp"]; ok {
+		t.Fatal("deleted key still present")
+	}
+	// Deleting on the MDS map bucket too.
+	if err := c.SetService(ctx, types.MapMDS, "t2", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DelService(ctx, types.MapMDS, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	mm, _ := c.GetMDSMap(ctx)
+	if _, ok := mm.Service["t2"]; ok {
+		t.Fatal("mds-map key survived delete")
+	}
+}
+
+func TestClassRemove(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.InstallClass(ctx, "temp-cls", "function f(cls) end", "other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveClass(ctx, "temp-cls"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Classes["temp-cls"]; ok {
+		t.Fatal("removed class still in map")
+	}
+}
+
+func TestUnknownOpLoggedAndIgnored(t *testing.T) {
+	net := wire.NewNetwork()
+	testQuorum(t, net, 3)
+	c := NewClient(net, "client.0", []int{0, 1, 2})
+	ctx := ctxT(t, 5*time.Second)
+
+	if err := c.Submit(ctx, types.Update{Ops: []types.Op{{Code: "bogus.op"}}}); err != nil {
+		t.Fatal(err) // commits fine; the op itself is a logged no-op
+	}
+	entries, err := c.GetLog(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Level == "error" && strings.Contains(e.Msg, "bogus.op") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unknown op not logged")
+	}
+}

@@ -1,0 +1,323 @@
+// Package query is a small in-situ data processing engine — the second
+// higher-level service the paper's future work proposes ("a data
+// processing engine … use the Data I/O interface to push down
+// predicates and computation", §7).
+//
+// A table is a set of row shards: RADOS objects whose omap holds rows
+// (pipe-separated fields keyed by row id). The engine installs a script
+// object class through the monitor; Select and Aggregate then execute
+// *next to the data* on each shard's OSD, returning only matching rows
+// or partial aggregates, which the client merges. A pure client-side
+// scan (FetchAll) is provided as the baseline the pushdown avoids.
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/wire"
+)
+
+// ClassName is the installed query class.
+const ClassName = "query"
+
+// classScript implements filtering and partial aggregation on the OSD.
+// Rows live in the omap under "r.<id>" as pipe-separated fields.
+const classScript = `
+local function field(row, idx)
+	-- return the idx-th (1-based) pipe-separated field of row
+	local s = row
+	local i = 1
+	while true do
+		local p = string.find(s, "|")
+		if p == nil then
+			if i == idx then return s end
+			return nil
+		end
+		if i == idx then return string.sub(s, 1, p - 1) end
+		s = string.sub(s, p + 1)
+		i = i + 1
+	end
+end
+
+local function matches(v, op, want)
+	if v == nil then return false end
+	local nv = tonumber(v)
+	local nw = tonumber(want)
+	if nv ~= nil and nw ~= nil then
+		if op == "eq" then return nv == nw end
+		if op == "ne" then return nv ~= nw end
+		if op == "lt" then return nv < nw end
+		if op == "le" then return nv <= nw end
+		if op == "gt" then return nv > nw end
+		if op == "ge" then return nv >= nw end
+		return false
+	end
+	if op == "eq" then return v == want end
+	if op == "ne" then return v ~= want end
+	return false
+end
+
+local function parse3(input)
+	local p1 = string.find(input, ":")
+	if p1 == nil then error("EINVAL: want col:op:value") end
+	local rest = string.sub(input, p1 + 1)
+	local p2 = string.find(rest, ":")
+	if p2 == nil then error("EINVAL: want col:op:value") end
+	return tonumber(string.sub(input, 1, p1 - 1)),
+		string.sub(rest, 1, p2 - 1),
+		string.sub(rest, p2 + 1)
+end
+
+-- insert("<id>:<row>"): store one row
+function insert(cls)
+	local p = string.find(cls.input, ":")
+	if p == nil then error("EINVAL: want id:row") end
+	cls.omap_set("r." .. string.sub(cls.input, 1, p - 1), string.sub(cls.input, p + 1))
+	return "1"
+end
+
+-- filter("<col>:<op>:<value>"): newline-joined matching rows
+function filter(cls)
+	local col, op, want = parse3(cls.input)
+	if col == nil then error("EINVAL: bad column") end
+	local out = {}
+	for i, k in pairs(cls.omap_keys("r.")) do
+		local row = cls.omap_get(k)
+		if row ~= nil and matches(field(row, col), op, want) then
+			table.insert(out, row)
+		end
+	end
+	return table.concat(out, "\n")
+end
+
+-- agg("<col>:<fn>:<ignored>"): partial aggregate "count,sum,min,max"
+function agg(cls)
+	local col, fn, _ = parse3(cls.input .. ":x")
+	if col == nil then error("EINVAL: bad column") end
+	local count = 0
+	local sum = 0
+	local mn = nil
+	local mx = nil
+	for i, k in pairs(cls.omap_keys("r.")) do
+		local v = tonumber(field(cls.omap_get(k), col))
+		if v ~= nil then
+			count = count + 1
+			sum = sum + v
+			if mn == nil or v < mn then mn = v end
+			if mx == nil or v > mx then mx = v end
+		end
+	end
+	if mn == nil then return "0,0,0,0" end
+	return count .. "," .. sum .. "," .. mn .. "," .. mx
+end
+`
+
+// Op is a predicate operator.
+type Op string
+
+// Predicate operators.
+const (
+	Eq Op = "eq"
+	Ne Op = "ne"
+	Lt Op = "lt"
+	Le Op = "le"
+	Gt Op = "gt"
+	Ge Op = "ge"
+)
+
+// AggFn is an aggregate function.
+type AggFn string
+
+// Aggregate functions.
+const (
+	Count AggFn = "count"
+	Sum   AggFn = "sum"
+	Min   AggFn = "min"
+	Max   AggFn = "max"
+	Avg   AggFn = "avg"
+)
+
+// Table is a client handle to a sharded table.
+type Table struct {
+	name   string
+	pool   string
+	shards int
+	rc     *rados.Client
+}
+
+// Install registers the query class cluster-wide (idempotent).
+func Install(ctx context.Context, monc *mon.Client) error {
+	m, err := monc.GetOSDMap(ctx)
+	if err != nil {
+		return err
+	}
+	if _, ok := m.Classes[ClassName]; ok {
+		return nil
+	}
+	return monc.InstallClass(ctx, ClassName, classScript, "management")
+}
+
+// OpenTable binds a table handle; shards fixes the shard count for the
+// table's lifetime.
+func OpenTable(ctx context.Context, net *wire.Network, self wire.Addr, mons []int, pool, name string, shards int) (*Table, error) {
+	if shards <= 0 {
+		shards = 4
+	}
+	t := &Table{
+		name:   name,
+		pool:   pool,
+		shards: shards,
+		rc:     rados.NewClient(net, self, mons),
+	}
+	monc := mon.NewClient(net, self+".mon", mons)
+	if err := Install(ctx, monc); err != nil {
+		return nil, err
+	}
+	if err := t.rc.RefreshMap(ctx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Table) shardObject(i int) string {
+	return fmt.Sprintf("tbl.%s.%d", t.name, i)
+}
+
+func shardOf(id string, shards int) int {
+	h := 0
+	for i := 0; i < len(id); i++ {
+		h = h*31 + int(id[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % shards
+}
+
+// Insert stores a row (pipe-joined fields) under id.
+func (t *Table) Insert(ctx context.Context, id string, fields ...string) error {
+	for _, f := range fields {
+		if strings.ContainsAny(f, "|\n:") {
+			return fmt.Errorf("query: field %q contains a reserved character", f)
+		}
+	}
+	if strings.ContainsAny(id, "|\n:") {
+		return fmt.Errorf("query: id %q contains a reserved character", id)
+	}
+	row := strings.Join(fields, "|")
+	obj := t.shardObject(shardOf(id, t.shards))
+	_, err := t.rc.Call(ctx, t.pool, obj, ClassName, "insert", []byte(id+":"+row))
+	return err
+}
+
+// Select pushes the predicate to every shard and merges matching rows
+// (each a []string of fields). Column indexes are 1-based.
+func (t *Table) Select(ctx context.Context, col int, op Op, value string) ([][]string, error) {
+	input := []byte(fmt.Sprintf("%d:%s:%s", col, op, value))
+	var rows [][]string
+	for i := 0; i < t.shards; i++ {
+		out, err := t.rc.Call(ctx, t.pool, t.shardObject(i), ClassName, "filter", input)
+		if err != nil {
+			if errors.Is(err, rados.ErrNotFound) {
+				continue // shard has no rows yet
+			}
+			return nil, fmt.Errorf("query: shard %d: %w", i, err)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if line == "" {
+				continue
+			}
+			rows = append(rows, strings.Split(line, "|"))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i], "|") < strings.Join(rows[j], "|")
+	})
+	return rows, nil
+}
+
+// Aggregate pushes a partial aggregate to every shard and combines.
+func (t *Table) Aggregate(ctx context.Context, col int, fn AggFn) (float64, error) {
+	input := []byte(fmt.Sprintf("%d:%s", col, fn))
+	count, sum := 0.0, 0.0
+	mn, mx := 0.0, 0.0
+	first := true
+	for i := 0; i < t.shards; i++ {
+		out, err := t.rc.Call(ctx, t.pool, t.shardObject(i), ClassName, "agg", input)
+		if err != nil {
+			if errors.Is(err, rados.ErrNotFound) {
+				continue
+			}
+			return 0, fmt.Errorf("query: shard %d: %w", i, err)
+		}
+		parts := strings.Split(string(out), ",")
+		if len(parts) != 4 {
+			return 0, fmt.Errorf("query: bad partial %q", out)
+		}
+		c, _ := strconv.ParseFloat(parts[0], 64)
+		if c == 0 {
+			continue
+		}
+		s, _ := strconv.ParseFloat(parts[1], 64)
+		lo, _ := strconv.ParseFloat(parts[2], 64)
+		hi, _ := strconv.ParseFloat(parts[3], 64)
+		count += c
+		sum += s
+		if first || lo < mn {
+			mn = lo
+		}
+		if first || hi > mx {
+			mx = hi
+		}
+		first = false
+	}
+	switch fn {
+	case Count:
+		return count, nil
+	case Sum:
+		return sum, nil
+	case Min:
+		return mn, nil
+	case Max:
+		return mx, nil
+	case Avg:
+		if count == 0 {
+			return 0, nil
+		}
+		return sum / count, nil
+	}
+	return 0, fmt.Errorf("query: unknown aggregate %q", fn)
+}
+
+// FetchAll is the no-pushdown baseline: pull every row to the client.
+func (t *Table) FetchAll(ctx context.Context) ([][]string, error) {
+	var rows [][]string
+	for i := 0; i < t.shards; i++ {
+		obj := t.shardObject(i)
+		keys, err := t.rc.OmapList(ctx, t.pool, obj, "r.")
+		if err != nil {
+			if errors.Is(err, rados.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		kv, err := t.rc.OmapGet(ctx, t.pool, obj, keys...)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range kv {
+			rows = append(rows, strings.Split(string(v), "|"))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i], "|") < strings.Join(rows[j], "|")
+	})
+	return rows, nil
+}

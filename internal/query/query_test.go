@@ -1,0 +1,239 @@
+package query_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func boot(t *testing.T) *core.Cluster {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := core.Boot(ctx, core.Options{OSDs: 3, Pools: []string{"data"}, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func openTable(t *testing.T, c *core.Cluster, name string) *query.Table {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	tbl, err := query.OpenTable(ctx, c.Net, "client.q", c.MonIDs(), "data", name, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// loadCities populates a small table: name, population, country.
+func loadCities(t *testing.T, ctx context.Context, tbl *query.Table) {
+	t.Helper()
+	rows := [][]string{
+		{"tokyo", "37400068", "jp"},
+		{"delhi", "28514000", "in"},
+		{"shanghai", "25582000", "cn"},
+		{"lima", "10391000", "pe"},
+		{"santa-cruz", "64776", "us"},
+		{"davis", "66850", "us"},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(ctx, r[0], r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectPushdown(t *testing.T) {
+	c := boot(t)
+	tbl := openTable(t, c, "cities")
+	ctx := ctxT(t, 20*time.Second)
+	loadCities(t, ctx, tbl)
+
+	// Numeric predicate on population.
+	rows, err := tbl.Select(ctx, 2, query.Gt, "20000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("megacities = %v", rows)
+	}
+	// String equality on country.
+	rows, err = tbl.Select(ctx, 3, query.Eq, "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "davis" || rows[1][0] != "santa-cruz" {
+		t.Fatalf("us rows = %v", rows)
+	}
+	// No matches.
+	rows, err = tbl.Select(ctx, 3, query.Eq, "atlantis")
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("atlantis = %v, %v", rows, err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	c := boot(t)
+	tbl := openTable(t, c, "cities")
+	ctx := ctxT(t, 20*time.Second)
+	loadCities(t, ctx, tbl)
+
+	cases := []struct {
+		fn   query.AggFn
+		want float64
+	}{
+		{query.Count, 6},
+		{query.Sum, 37400068 + 28514000 + 25582000 + 10391000 + 64776 + 66850},
+		{query.Min, 64776},
+		{query.Max, 37400068},
+	}
+	for _, tc := range cases {
+		got, err := tbl.Aggregate(ctx, 2, tc.fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+	avg, err := tbl.Aggregate(ctx, 2, query.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-(37400068+28514000+25582000+10391000+64776+66850)/6.0) > 1 {
+		t.Errorf("avg = %v", avg)
+	}
+}
+
+func TestPushdownMatchesClientScan(t *testing.T) {
+	// The pushdown path and the fetch-everything baseline agree.
+	c := boot(t)
+	tbl := openTable(t, c, "agree")
+	ctx := ctxT(t, 30*time.Second)
+	for i := 0; i < 40; i++ {
+		if err := tbl.Insert(ctx, fmt.Sprintf("row%d", i),
+			fmt.Sprintf("row%d", i), fmt.Sprint(i*i%97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pushed, err := tbl.Select(ctx, 2, query.Ge, "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := tbl.FetchAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scanned [][]string
+	for _, r := range all {
+		var v int
+		fmt.Sscan(r[1], &v)
+		if v >= 50 {
+			scanned = append(scanned, r)
+		}
+	}
+	if len(pushed) != len(scanned) {
+		t.Fatalf("pushdown %d rows, client scan %d", len(pushed), len(scanned))
+	}
+	for i := range pushed {
+		if pushed[i][0] != scanned[i][0] {
+			t.Fatalf("row %d differs: %v vs %v", i, pushed[i], scanned[i])
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	c := boot(t)
+	tbl := openTable(t, c, "empty")
+	ctx := ctxT(t, 15*time.Second)
+	rows, err := tbl.Select(ctx, 1, query.Eq, "x")
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("select on empty = %v, %v", rows, err)
+	}
+	n, err := tbl.Aggregate(ctx, 1, query.Count)
+	if err != nil || n != 0 {
+		t.Fatalf("count on empty = %v, %v", n, err)
+	}
+}
+
+func TestReservedCharactersRejected(t *testing.T) {
+	c := boot(t)
+	tbl := openTable(t, c, "reserved")
+	ctx := ctxT(t, 15*time.Second)
+	if err := tbl.Insert(ctx, "a|b", "x"); err == nil {
+		t.Fatal("pipe in id accepted")
+	}
+	if err := tbl.Insert(ctx, "ok", "field|with|pipes"); err == nil {
+		t.Fatal("pipe in field accepted")
+	}
+	if err := tbl.Insert(ctx, "ok", "colon:field"); err == nil {
+		t.Fatal("colon in field accepted")
+	}
+}
+
+func TestUpsertOverwrites(t *testing.T) {
+	c := boot(t)
+	tbl := openTable(t, c, "upsert")
+	ctx := ctxT(t, 15*time.Second)
+	if err := tbl.Insert(ctx, "k", "k", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ctx, "k", "k", "2"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tbl.Aggregate(ctx, 2, query.Count)
+	if err != nil || n != 1 {
+		t.Fatalf("count after upsert = %v, %v", n, err)
+	}
+	v, err := tbl.Aggregate(ctx, 2, query.Max)
+	if err != nil || v != 2 {
+		t.Fatalf("value after upsert = %v, %v", v, err)
+	}
+}
+
+func TestPropSumMatchesInserted(t *testing.T) {
+	c := boot(t)
+	ctx := ctxT(t, 60*time.Second)
+	tblN := 0
+	f := func(vals []int16) bool {
+		n := len(vals)
+		if n > 12 {
+			n = 12
+		}
+		tblN++
+		tbl := openTable(t, c, fmt.Sprintf("prop%d", tblN))
+		want := 0.0
+		for i := 0; i < n; i++ {
+			v := int(vals[i])
+			if err := tbl.Insert(ctx, fmt.Sprintf("r%d", i), fmt.Sprint(v)); err != nil {
+				return false
+			}
+			want += float64(v)
+		}
+		got, err := tbl.Aggregate(ctx, 1, query.Sum)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+package rados
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/mon"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Client is the librados-style handle applications use: it caches the
+// OSD map, routes each operation to the primary OSD of the object's
+// placement group, and transparently resynchronizes on ESTALE (the
+// out-of-date-client protocol of Section 4.1).
+type Client struct {
+	net  *wire.Network
+	self wire.Addr
+	monc *mon.Client
+
+	mu     sync.Mutex
+	osdMap *types.OSDMap
+
+	// watch/notify state (see watch.go).
+	watches   map[uint64]*WatchHandle
+	watchSeq  uint64
+	listening bool
+}
+
+// NewClient builds a client identified as self on the fabric.
+func NewClient(net *wire.Network, self wire.Addr, mons []int) *Client {
+	return &Client{
+		net:    net,
+		self:   self,
+		monc:   mon.NewClient(net, self, mons),
+		osdMap: types.NewOSDMap(),
+	}
+}
+
+// Mon exposes the underlying monitor client (for service metadata and
+// class installation).
+func (c *Client) Mon() *mon.Client { return c.monc }
+
+// RefreshMap fetches the newest OSD map from the monitors.
+func (c *Client) RefreshMap(ctx context.Context) error {
+	m, err := c.monc.GetOSDMap(ctx)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if m.Epoch > c.osdMap.Epoch {
+		c.osdMap = m
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// MapEpoch returns the client's cached map epoch.
+func (c *Client) MapEpoch() types.Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.osdMap.Epoch
+}
+
+// CachedMap returns the client's cached OSD map (shared; treat as
+// read-only).
+func (c *Client) CachedMap() *types.OSDMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.osdMap
+}
+
+// do routes req to the primary OSD, retrying through map refreshes on
+// staleness or placement movement.
+func (c *Client) do(ctx context.Context, req OpRequest) (OpReply, error) {
+	const maxRetries = 5
+	var last OpReply
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		c.mu.Lock()
+		m := c.osdMap
+		c.mu.Unlock()
+
+		_, acting, err := Locate(m, req.Pool, req.Object)
+		if err != nil {
+			// Unknown pool or empty cluster: refresh once and retry.
+			if rerr := c.RefreshMap(ctx); rerr != nil {
+				return OpReply{}, rerr
+			}
+			c.mu.Lock()
+			m = c.osdMap
+			c.mu.Unlock()
+			_, acting, err = Locate(m, req.Pool, req.Object)
+			if err != nil {
+				return OpReply{}, err
+			}
+		}
+		req.Epoch = m.Epoch
+		resp, err := c.net.Call(ctx, c.self, OSDAddr(acting[0]), req)
+		if err != nil {
+			// Primary unreachable: refresh the map (it may be down) and
+			// retry against the new acting set.
+			if rerr := c.RefreshMap(ctx); rerr != nil {
+				return OpReply{}, fmt.Errorf("rados: primary failed (%v) and map refresh failed: %w", err, rerr)
+			}
+			continue
+		}
+		rep, ok := resp.(OpReply)
+		if !ok {
+			return OpReply{}, fmt.Errorf("rados: unexpected reply %T", resp)
+		}
+		if rep.Result == EMapStale {
+			last = rep
+			if err := c.RefreshMap(ctx); err != nil {
+				return OpReply{}, err
+			}
+			continue
+		}
+		return rep, nil
+	}
+	return last, fmt.Errorf("rados: retries exhausted (%s)", last.Detail)
+}
+
+// Create makes an empty object, failing with ErrExists if present.
+func (c *Client) Create(ctx context.Context, pool, object string) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpCreate})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// WriteFull replaces the object's bytestream.
+func (c *Client) WriteFull(ctx context.Context, pool, object string, data []byte) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpWriteFull, Data: data})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// Append extends the object's bytestream.
+func (c *Client) Append(ctx context.Context, pool, object string, data []byte) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpAppend, Data: data})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// Read returns the full bytestream.
+func (c *Client) Read(ctx context.Context, pool, object string) ([]byte, error) {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpRead})
+	if err != nil {
+		return nil, err
+	}
+	if err := ErrFor(rep.Result, rep.Detail); err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Stat returns size and version.
+func (c *Client) Stat(ctx context.Context, pool, object string) (size int64, version uint64, err error) {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpStat})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := ErrFor(rep.Result, rep.Detail); err != nil {
+		return 0, 0, err
+	}
+	return rep.Size, rep.Version, nil
+}
+
+// Remove deletes the object.
+func (c *Client) Remove(ctx context.Context, pool, object string) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpRemove})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// OmapSet stores key-value pairs in the object's sorted database.
+func (c *Client) OmapSet(ctx context.Context, pool, object string, kv map[string][]byte) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpOmapSet, KV: kv})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// OmapGet fetches the named keys (absent keys are omitted).
+func (c *Client) OmapGet(ctx context.Context, pool, object string, keys ...string) (map[string][]byte, error) {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpOmapGet, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	if err := ErrFor(rep.Result, rep.Detail); err != nil {
+		return nil, err
+	}
+	return rep.KV, nil
+}
+
+// OmapDel removes keys.
+func (c *Client) OmapDel(ctx context.Context, pool, object string, keys ...string) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpOmapDel, Keys: keys})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// OmapList lists keys with the given prefix, sorted.
+func (c *Client) OmapList(ctx context.Context, pool, object, prefix string) ([]string, error) {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpOmapList, Key: prefix})
+	if err != nil {
+		return nil, err
+	}
+	if err := ErrFor(rep.Result, rep.Detail); err != nil {
+		return nil, err
+	}
+	return rep.Keys, nil
+}
+
+// GetXattr reads one extended attribute.
+func (c *Client) GetXattr(ctx context.Context, pool, object, name string) ([]byte, error) {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpGetXattr, Key: name})
+	if err != nil {
+		return nil, err
+	}
+	if err := ErrFor(rep.Result, rep.Detail); err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// SetXattr writes one extended attribute.
+func (c *Client) SetXattr(ctx context.Context, pool, object, name string, value []byte) error {
+	rep, err := c.do(ctx, OpRequest{Pool: pool, Object: object, Op: OpSetXattr, Key: name, Data: value})
+	if err != nil {
+		return err
+	}
+	return ErrFor(rep.Result, rep.Detail)
+}
+
+// Call invokes a class method on the object — the Data I/O interface of
+// Section 4.2. Native classes resolve first; otherwise the script class
+// installed in the cluster map runs, atomically, next to the data.
+func (c *Client) Call(ctx context.Context, pool, object, class, method string, input []byte) ([]byte, error) {
+	rep, err := c.do(ctx, OpRequest{
+		Pool: pool, Object: object, Op: OpCall,
+		Class: class, Method: method, Input: input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ErrFor(rep.Result, rep.Detail); err != nil {
+		return rep.Data, err
+	}
+	return rep.Data, nil
+}

@@ -1,0 +1,504 @@
+package rados
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/mon"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// OSDConfig configures one object storage daemon.
+type OSDConfig struct {
+	ID   int
+	Mons []int
+	// GossipInterval is how often the OSD exchanges map epochs with
+	// random peers (the peer-to-peer propagation of Section 4.4 that
+	// Figure 8 measures).
+	GossipInterval time.Duration
+	// GossipFanout is how many peers each gossip round contacts.
+	GossipFanout int
+	// BeaconInterval is how often the OSD reports liveness to the
+	// monitors; zero disables beacons.
+	BeaconInterval time.Duration
+	// ScrubInterval is how often primaries compare replica digests and
+	// repair divergence; zero disables background scrub.
+	ScrubInterval time.Duration
+}
+
+func (c *OSDConfig) defaults() {
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 50 * time.Millisecond
+	}
+	if c.GossipFanout <= 0 {
+		c.GossipFanout = 2
+	}
+}
+
+// OSD is one object storage daemon: it owns replicas of placement
+// groups, serves object operations, executes class methods next to the
+// data, replicates writes to its peers, gossips cluster maps, and
+// scrubs in the background.
+type OSD struct {
+	cfg      OSDConfig
+	net      *wire.Network
+	monc     *mon.Client
+	rt       *classRuntime
+	rng      *rand.Rand
+	watchers *watcherTable
+
+	mu     sync.Mutex
+	osdMap *types.OSDMap
+	pgs    map[PGID]*pg
+	// classLive tracks the highest class version made live, for the
+	// propagation-latency instrumentation (Figure 8).
+	classLive   map[string]uint64
+	onClassLive func(name string, version uint64)
+
+	scrubRepairs int
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewOSD constructs an OSD bound to the fabric.
+func NewOSD(net *wire.Network, cfg OSDConfig) *OSD {
+	cfg.defaults()
+	return &OSD{
+		cfg:       cfg,
+		net:       net,
+		monc:      mon.NewClient(net, OSDAddr(cfg.ID), cfg.Mons),
+		rt:        newClassRuntime(),
+		rng:       rand.New(rand.NewSource(int64(cfg.ID)*7919 + 17)),
+		watchers:  newWatcherTable(),
+		osdMap:    types.NewOSDMap(),
+		pgs:       make(map[PGID]*pg),
+		classLive: make(map[string]uint64),
+		stopCh:    make(chan struct{}),
+	}
+}
+
+// Addr returns this OSD's wire address.
+func (o *OSD) Addr() wire.Addr { return OSDAddr(o.cfg.ID) }
+
+// OnClassLive registers a hook invoked whenever a new class version
+// becomes live on this daemon (benchmark instrumentation).
+func (o *OSD) OnClassLive(fn func(name string, version uint64)) {
+	o.mu.Lock()
+	o.onClassLive = fn
+	o.mu.Unlock()
+}
+
+// ScrubRepairs reports how many divergent replicas scrub has repaired.
+func (o *OSD) ScrubRepairs() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.scrubRepairs
+}
+
+// Start registers the daemon, boots it into the OSD map, subscribes to
+// map pushes, and launches gossip/beacon/scrub loops.
+func (o *OSD) Start(ctx context.Context) error {
+	o.net.Listen(o.Addr(), o.handle)
+	if err := o.monc.BootOSD(ctx, o.cfg.ID, o.Addr()); err != nil {
+		o.net.Unlisten(o.Addr())
+		return fmt.Errorf("osd.%d: boot: %w", o.cfg.ID, err)
+	}
+	if err := o.monc.Subscribe(ctx, o.Addr(), types.MapOSD); err != nil {
+		return fmt.Errorf("osd.%d: subscribe: %w", o.cfg.ID, err)
+	}
+	m, err := o.monc.GetOSDMap(ctx)
+	if err != nil {
+		return fmt.Errorf("osd.%d: fetch map: %w", o.cfg.ID, err)
+	}
+	o.updateMap(m)
+
+	o.wg.Add(1)
+	go o.gossipLoop()
+	if o.cfg.BeaconInterval > 0 {
+		o.wg.Add(1)
+		go o.beaconLoop()
+	}
+	if o.cfg.ScrubInterval > 0 {
+		o.wg.Add(1)
+		go o.scrubLoop()
+	}
+	return nil
+}
+
+// Stop halts the daemon and removes it from the fabric (a crash, from
+// the cluster's point of view).
+func (o *OSD) Stop() {
+	o.stopOnce.Do(func() { close(o.stopCh) })
+	o.net.Unlisten(o.Addr())
+	o.wg.Wait()
+}
+
+// Epoch returns the daemon's current map epoch.
+func (o *OSD) Epoch() types.Epoch {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.osdMap.Epoch
+}
+
+// handle is the single fabric endpoint.
+func (o *OSD) handle(ctx context.Context, from wire.Addr, req any) (any, error) {
+	switch r := req.(type) {
+	case OpRequest:
+		return o.handleOp(ctx, r), nil
+	case mon.MapNotify:
+		if r.OSD != nil {
+			o.updateMap(r.OSD)
+		}
+		return nil, nil
+	case gossipMsg:
+		return o.handleGossip(r), nil
+	case backfillMsg:
+		o.applyBackfill(r)
+		return true, nil
+	case scrubMsg:
+		return o.handleScrub(r), nil
+	case watchReq:
+		return o.handleWatch(r), nil
+	case watchCheckReq:
+		return o.watchers.has(r.Pool, r.Object, r.ID, r.Watcher), nil
+	case notifyReq:
+		return o.handleNotify(ctx, r), nil
+	}
+	return nil, fmt.Errorf("osd.%d: unknown request %T from %s", o.cfg.ID, req, from)
+}
+
+// updateMap installs a newer OSD map, fires class-liveness hooks,
+// performs placement-group splitting for resized pools, and triggers
+// backfill for PGs whose acting sets changed.
+func (o *OSD) updateMap(m *types.OSDMap) {
+	o.mu.Lock()
+	if m.Epoch <= o.osdMap.Epoch {
+		o.mu.Unlock()
+		return
+	}
+	old := o.osdMap
+	o.osdMap = m
+	// Detect pool growth: those pools re-shard in the background
+	// ("placement group splitting", §4.4).
+	var splitPools []string
+	for name, pi := range m.Pools {
+		if opi, ok := old.Pools[name]; ok && pi.PGNum > opi.PGNum {
+			splitPools = append(splitPools, name)
+		}
+	}
+	var liveEvents []types.ClassDef
+	for name, def := range m.Classes {
+		if o.classLive[name] < def.Version {
+			o.classLive[name] = def.Version
+			liveEvents = append(liveEvents, def)
+		}
+	}
+	hook := o.onClassLive
+	pgids := make([]PGID, 0, len(o.pgs))
+	for id := range o.pgs {
+		pgids = append(pgids, id)
+	}
+	o.mu.Unlock()
+
+	if hook != nil {
+		for _, def := range liveEvents {
+			hook(def.Name, def.Version)
+		}
+	}
+	// Re-shard resized pools first: objects whose PG changed move to the
+	// new PG's acting set via direct daemon-to-daemon pushes.
+	for _, pool := range splitPools {
+		o.splitPool(pool, m)
+	}
+	// Re-replicate any PG data we hold to the (possibly new) acting set.
+	for _, id := range pgids {
+		o.backfillPG(id, m)
+	}
+}
+
+// splitPool moves objects whose placement group changed under the new
+// PG count to their new homes. Daemons converge pairwise, without the
+// monitor in the loop, exactly as the paper describes the mechanism.
+func (o *OSD) splitPool(pool string, m *types.OSDMap) {
+	pi, ok := m.Pools[pool]
+	if !ok {
+		return
+	}
+	o.mu.Lock()
+	var held []*pg
+	for id, p := range o.pgs {
+		if id.Pool == pool {
+			held = append(held, p)
+		}
+	}
+	o.mu.Unlock()
+
+	for _, p := range held {
+		p.mu.Lock()
+		moved := make(map[int][]*Object)
+		for name, obj := range p.objects {
+			npg := PGForObject(name, pi.PGNum)
+			if npg != p.id.PG {
+				moved[npg] = append(moved[npg], obj.clone())
+				delete(p.objects, name)
+			}
+		}
+		p.mu.Unlock()
+
+		for npg, objs := range moved {
+			acting := OSDsForPG(m, pool, npg, pi.Replicas)
+			for _, peer := range acting {
+				msg := backfillMsg{Pool: pool, PG: npg, Objects: objs, Epoch: m.Epoch}
+				if peer == o.cfg.ID {
+					o.applyBackfill(msg)
+				} else {
+					o.net.Send(o.Addr(), OSDAddr(peer), msg)
+				}
+			}
+		}
+	}
+}
+
+// backfillPG pushes this daemon's copy of a PG to acting-set members.
+func (o *OSD) backfillPG(id PGID, m *types.OSDMap) {
+	pi, ok := m.Pools[id.Pool]
+	if !ok {
+		return
+	}
+	acting := OSDsForPG(m, id.Pool, id.PG, pi.Replicas)
+	o.mu.Lock()
+	p := o.pgs[id]
+	o.mu.Unlock()
+	if p == nil {
+		return
+	}
+	objs := p.snapshot()
+	if len(objs) == 0 {
+		return
+	}
+	for _, peer := range acting {
+		if peer == o.cfg.ID {
+			continue
+		}
+		o.net.Send(o.Addr(), OSDAddr(peer), backfillMsg{
+			Pool: id.Pool, PG: id.PG, Objects: objs, Epoch: m.Epoch,
+		})
+	}
+}
+
+// applyBackfill merges pushed objects, keeping the newer version of
+// each.
+func (o *OSD) applyBackfill(b backfillMsg) {
+	p := o.getPG(PGID{Pool: b.Pool, PG: b.PG})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, obj := range b.Objects {
+		cur, ok := p.objects[obj.Name]
+		if b.Force || !ok || cur.Version < obj.Version {
+			p.objects[obj.Name] = obj.clone()
+		}
+	}
+}
+
+func (o *OSD) getPG(id PGID) *pg {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.pgs[id]
+	if !ok {
+		p = newPG(id)
+		o.pgs[id] = p
+	}
+	return p
+}
+
+// ---- gossip ----
+
+func (o *OSD) gossipLoop() {
+	defer o.wg.Done()
+	ticker := time.NewTicker(o.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.stopCh:
+			return
+		case <-ticker.C:
+		}
+		o.gossipOnce()
+	}
+}
+
+// gossipOnce exchanges epochs with random up peers; whichever side is
+// behind receives the full map.
+func (o *OSD) gossipOnce() {
+	o.mu.Lock()
+	m := o.osdMap
+	peers := m.UpOSDs()
+	o.mu.Unlock()
+
+	var candidates []int
+	for _, p := range peers {
+		if p != o.cfg.ID {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	o.mu.Lock()
+	o.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	o.mu.Unlock()
+	n := o.cfg.GossipFanout
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	for _, peer := range candidates[:n] {
+		peer := peer
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), o.cfg.GossipInterval*4)
+			defer cancel()
+			resp, err := o.net.Call(ctx, o.Addr(), OSDAddr(peer), gossipMsg{From: o.cfg.ID, Epoch: o.Epoch()})
+			if err != nil {
+				return
+			}
+			g, ok := resp.(gossipMsg)
+			if !ok {
+				return
+			}
+			if g.Map != nil {
+				o.updateMap(g.Map)
+			} else if g.Epoch < o.Epoch() {
+				// Peer is behind: push our map.
+				o.mu.Lock()
+				push := o.osdMap.Clone()
+				o.mu.Unlock()
+				o.net.Send(o.Addr(), OSDAddr(peer), gossipMsg{From: o.cfg.ID, Epoch: push.Epoch, Map: push})
+			}
+		}()
+	}
+}
+
+func (o *OSD) handleGossip(g gossipMsg) gossipMsg {
+	if g.Map != nil {
+		o.updateMap(g.Map)
+		return gossipMsg{From: o.cfg.ID, Epoch: o.Epoch()}
+	}
+	o.mu.Lock()
+	mine := o.osdMap
+	o.mu.Unlock()
+	if g.Epoch < mine.Epoch {
+		// Sender is behind: attach our map to the reply.
+		return gossipMsg{From: o.cfg.ID, Epoch: mine.Epoch, Map: mine.Clone()}
+	}
+	return gossipMsg{From: o.cfg.ID, Epoch: mine.Epoch}
+}
+
+// ---- beacons ----
+
+func (o *OSD) beaconLoop() {
+	defer o.wg.Done()
+	// Register with the failure detector immediately so a daemon that
+	// dies young is still noticed.
+	ctx0, cancel0 := context.WithTimeout(context.Background(), o.cfg.BeaconInterval*2)
+	o.monc.Beacon(ctx0, types.EntityOSD, o.cfg.ID)
+	cancel0()
+	ticker := time.NewTicker(o.cfg.BeaconInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.stopCh:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), o.cfg.BeaconInterval*2)
+		o.monc.Beacon(ctx, types.EntityOSD, o.cfg.ID)
+		cancel()
+	}
+}
+
+// ---- scrub ----
+
+func (o *OSD) scrubLoop() {
+	defer o.wg.Done()
+	ticker := time.NewTicker(o.cfg.ScrubInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.stopCh:
+			return
+		case <-ticker.C:
+		}
+		o.scrubOnce()
+	}
+}
+
+// scrubOnce compares replica digests for each PG this daemon leads and
+// repairs divergent replicas by pushing its authoritative copy.
+func (o *OSD) scrubOnce() {
+	o.mu.Lock()
+	m := o.osdMap
+	pgids := make([]PGID, 0, len(o.pgs))
+	for id := range o.pgs {
+		pgids = append(pgids, id)
+	}
+	o.mu.Unlock()
+
+	for _, id := range pgids {
+		pi, ok := m.Pools[id.Pool]
+		if !ok {
+			continue
+		}
+		acting := OSDsForPG(m, id.Pool, id.PG, pi.Replicas)
+		if len(acting) == 0 || acting[0] != o.cfg.ID {
+			continue
+		}
+		local := o.getPG(id).digests()
+		for _, peer := range acting[1:] {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			resp, err := o.net.Call(ctx, o.Addr(), OSDAddr(peer), scrubMsg{Pool: id.Pool, PG: id.PG})
+			cancel()
+			if err != nil {
+				continue
+			}
+			rep, ok := resp.(scrubReply)
+			if !ok {
+				continue
+			}
+			if !digestsEqual(local, rep.Digests) {
+				o.mu.Lock()
+				o.scrubRepairs++
+				o.mu.Unlock()
+				objs := o.getPG(id).snapshot()
+				o.net.Send(o.Addr(), OSDAddr(peer), backfillMsg{
+					Pool: id.Pool, PG: id.PG, Objects: objs, Epoch: m.Epoch, Force: true,
+				})
+				ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+				o.monc.Log(ctx2, "warn", fmt.Sprintf("scrub repaired %s on osd.%d", id, peer)) //nolint:errcheck
+				cancel2()
+			}
+		}
+	}
+}
+
+func (o *OSD) handleScrub(s scrubMsg) scrubReply {
+	return scrubReply{Digests: o.getPG(PGID{Pool: s.Pool, PG: s.PG}).digests()}
+}
+
+func digestsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package rados
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/types"
+)
+
+// handleOp services one object operation. The epoch discipline follows
+// Ceph: a request from a client with an older map is rejected ESTALE
+// (forcing a resync before I/O continues — the mechanism ZLog's seal
+// protocol leans on); a request carrying a newer epoch makes this daemon
+// pull the latest map before proceeding.
+func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
+	if req.Epoch > o.Epoch() {
+		if m, err := o.monc.GetOSDMap(ctx); err == nil {
+			o.updateMap(m)
+		}
+	}
+	o.mu.Lock()
+	m := o.osdMap
+	o.mu.Unlock()
+
+	// A call against a class this daemon does not know may be racing a
+	// just-committed install; pull the latest map once before failing.
+	if req.Op == OpCall && !o.rt.isNative(req.Class) {
+		if _, ok := m.Classes[req.Class]; !ok {
+			if fresh, err := o.monc.GetOSDMap(ctx); err == nil {
+				o.updateMap(fresh)
+				o.mu.Lock()
+				m = o.osdMap
+				o.mu.Unlock()
+			}
+		}
+	}
+
+	if req.Epoch < m.Epoch {
+		return OpReply{Result: EMapStale, Detail: "client map epoch out of date", Epoch: m.Epoch}
+	}
+
+	pi, ok := m.Pools[req.Pool]
+	if !ok {
+		return OpReply{Result: ENOENT, Detail: "no such pool", Epoch: m.Epoch}
+	}
+	pgnum := PGForObject(req.Object, pi.PGNum)
+	acting := OSDsForPG(m, req.Pool, pgnum, pi.Replicas)
+	if len(acting) == 0 {
+		return OpReply{Result: EIO, Detail: "no OSDs up", Epoch: m.Epoch}
+	}
+	if !req.Replica && acting[0] != o.cfg.ID {
+		return OpReply{Result: EMapStale, Detail: "not primary for object", Epoch: m.Epoch}
+	}
+
+	p := o.getPG(PGID{Pool: req.Pool, PG: pgnum})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	reply, mutated := o.applyOp(p, req, m)
+	reply.Epoch = m.Epoch
+
+	// Primary-copy replication: after a successful local mutation, the
+	// primary forwards the same op to the replicas and waits for their
+	// acks. Replicas re-apply deterministically. The PG lock is held
+	// through replication so replicas observe ops in primary order.
+	if mutated && !req.Replica && reply.Result == OK {
+		fwd := req
+		fwd.Replica = true
+		fwd.Epoch = m.Epoch
+		for _, peer := range acting[1:] {
+			rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := o.net.Call(rctx, o.Addr(), OSDAddr(peer), fwd)
+			cancel()
+			if err != nil {
+				// The replica is unreachable; durability is degraded until
+				// the beacon timeout marks it down and backfill repairs.
+				lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
+				o.monc.Log(lctx, "warn", "replica write to "+string(OSDAddr(peer))+" failed: "+err.Error()) //nolint:errcheck
+				lcancel()
+			}
+		}
+	}
+	return reply
+}
+
+// applyOp executes one op against the PG (held locked). Returns the
+// reply and whether object state changed (drives replication).
+func (o *OSD) applyOp(p *pg, req OpRequest, m *types.OSDMap) (OpReply, bool) {
+	switch req.Op {
+	case OpStat:
+		obj := p.get(req.Object, false)
+		if obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		return OpReply{Result: OK, Size: int64(len(obj.Data)), Version: obj.Version}, false
+
+	case OpRead:
+		obj := p.get(req.Object, false)
+		if obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		return OpReply{Result: OK, Data: append([]byte(nil), obj.Data...), Version: obj.Version}, false
+
+	case OpCreate:
+		if p.get(req.Object, false) != nil {
+			return OpReply{Result: EEXIST}, false
+		}
+		obj := p.get(req.Object, true)
+		obj.Version++
+		return OpReply{Result: OK, Version: obj.Version}, true
+
+	case OpWriteFull:
+		obj := p.get(req.Object, true)
+		obj.Data = append([]byte(nil), req.Data...)
+		obj.Version++
+		return OpReply{Result: OK, Version: obj.Version}, true
+
+	case OpAppend:
+		obj := p.get(req.Object, true)
+		obj.Data = append(obj.Data, req.Data...)
+		obj.Version++
+		return OpReply{Result: OK, Version: obj.Version}, true
+
+	case OpRemove:
+		if p.get(req.Object, false) == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		delete(p.objects, req.Object)
+		return OpReply{Result: OK}, true
+
+	case OpOmapGet:
+		obj := p.get(req.Object, false)
+		if obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		kv := make(map[string][]byte)
+		for _, k := range req.Keys {
+			if v, ok := obj.Omap[k]; ok {
+				kv[k] = append([]byte(nil), v...)
+			}
+		}
+		return OpReply{Result: OK, KV: kv, Version: obj.Version}, false
+
+	case OpOmapSet:
+		obj := p.get(req.Object, true)
+		for k, v := range req.KV {
+			obj.Omap[k] = append([]byte(nil), v...)
+		}
+		obj.Version++
+		return OpReply{Result: OK, Version: obj.Version}, true
+
+	case OpOmapDel:
+		obj := p.get(req.Object, false)
+		if obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		for _, k := range req.Keys {
+			delete(obj.Omap, k)
+		}
+		obj.Version++
+		return OpReply{Result: OK, Version: obj.Version}, true
+
+	case OpOmapList:
+		obj := p.get(req.Object, false)
+		if obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		return OpReply{Result: OK, Keys: obj.OmapKeysSorted(req.Key), Version: obj.Version}, false
+
+	case OpGetXattr:
+		obj := p.get(req.Object, false)
+		if obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		v, ok := obj.Xattrs[req.Key]
+		if !ok {
+			return OpReply{Result: ENOENT, Detail: "no such xattr"}, false
+		}
+		return OpReply{Result: OK, Data: append([]byte(nil), v...), Version: obj.Version}, false
+
+	case OpSetXattr:
+		obj := p.get(req.Object, true)
+		obj.Xattrs[req.Key] = append([]byte(nil), req.Data...)
+		obj.Version++
+		return OpReply{Result: OK, Version: obj.Version}, true
+
+	case OpCall:
+		return o.applyCall(p, req, m)
+	}
+	return OpReply{Result: EINVAL, Detail: "unknown op"}, false
+}
+
+// applyCall executes a class method transactionally. Native methods run
+// on a clone that replaces the object only on success (they are rare
+// and compiled-in). Script methods — the hot, user-supplied path — run
+// directly on the live object under the PG lock with an undo log, so an
+// abort rolls back in time proportional to the state touched rather
+// than the object's size (ZLog stripe objects grow without bound).
+func (o *OSD) applyCall(p *pg, req OpRequest, m *types.OSDMap) (OpReply, bool) {
+	if o.rt.isNative(req.Class) {
+		return o.applyNativeCall(p, req)
+	}
+	def, ok := m.Classes[req.Class]
+	if !ok {
+		return OpReply{Result: ENOENT, Detail: "no such class: " + req.Class}, false
+	}
+
+	existed := p.get(req.Object, false) != nil
+	obj := p.get(req.Object, true)
+	ctx := &ClassCtx{Obj: obj, Input: req.Input}
+	out, rc := o.rt.callScript(def, req.Method, ctx)
+	if rc != OK {
+		ctx.rollback()
+		if !existed {
+			delete(p.objects, req.Object)
+		}
+		return OpReply{Result: rc, Detail: string(out), Data: out}, false
+	}
+	if ctx.mutated {
+		obj.Version++
+	} else if !existed {
+		// A pure read on a nonexistent object leaves no trace.
+		delete(p.objects, req.Object)
+	}
+	return OpReply{Result: OK, Data: out, Version: obj.Version}, ctx.mutated
+}
+
+// applyNativeCall runs a compiled-in method on a clone, swapping it in
+// only when the method succeeds and actually changed state.
+func (o *OSD) applyNativeCall(p *pg, req OpRequest) (OpReply, bool) {
+	orig := p.get(req.Object, false)
+	var work *Object
+	var preDigest uint64
+	existed := orig != nil
+	if existed {
+		work = orig.clone()
+		preDigest = orig.digest()
+	} else {
+		work = NewObject(req.Object)
+		preDigest = work.digest()
+	}
+	ctx := &ClassCtx{Obj: work, Input: req.Input}
+	out, rc, found := o.rt.callNative(req.Class, req.Method, ctx)
+	if !found {
+		return OpReply{Result: ENOENT, Detail: "no such class: " + req.Class}, false
+	}
+	if rc != OK {
+		// Abort: the clone is discarded; the stored object is untouched.
+		// The payload still flows back (e.g. lock.acquire reports the
+		// current holder alongside EEXIST).
+		return OpReply{Result: rc, Detail: string(out), Data: out}, false
+	}
+	mutated := work.digest() != preDigest
+	if mutated {
+		work.Version++
+		p.objects[req.Object] = work
+	}
+	return OpReply{Result: OK, Data: out, Version: work.Version}, mutated
+}

@@ -1,0 +1,90 @@
+package rados
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Placement is a simplified CRUSH: objects hash onto placement groups,
+// and placement groups map onto OSDs by highest-random-weight
+// (rendezvous) hashing over the up set. HRW gives CRUSH's key property
+// at our scale: when an OSD joins or leaves, only the PGs that actually
+// involve it move.
+
+// PGID identifies a placement group within a pool.
+type PGID struct {
+	Pool string
+	PG   int
+}
+
+func (p PGID) String() string { return fmt.Sprintf("%s.%d", p.Pool, p.PG) }
+
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))    //nolint:errcheck // fnv never fails
+		h.Write([]byte{0x1f}) //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// PGForObject maps an object name to its placement group.
+func PGForObject(object string, pgNum int) int {
+	if pgNum <= 0 {
+		pgNum = 1
+	}
+	return int(hash64(object) % uint64(pgNum))
+}
+
+// OSDsForPG returns the acting set for a PG: replicas-many up OSDs
+// ranked by rendezvous hash, primary first. Returns nil when no OSD is
+// up.
+func OSDsForPG(m *types.OSDMap, pool string, pg, replicas int) []int {
+	up := m.UpOSDs()
+	if len(up) == 0 {
+		return nil
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicas > len(up) {
+		replicas = len(up)
+	}
+	type scored struct {
+		id    int
+		score uint64
+	}
+	scores := make([]scored, 0, len(up))
+	key := fmt.Sprintf("%s/%d", pool, pg)
+	for _, id := range up {
+		scores = append(scores, scored{id: id, score: hash64(key, fmt.Sprint(id))})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].score != scores[j].score {
+			return scores[i].score > scores[j].score
+		}
+		return scores[i].id < scores[j].id
+	})
+	out := make([]int, replicas)
+	for i := 0; i < replicas; i++ {
+		out[i] = scores[i].id
+	}
+	return out
+}
+
+// Locate resolves an object to its PG and acting set under map m.
+func Locate(m *types.OSDMap, pool, object string) (PGID, []int, error) {
+	pi, ok := m.Pools[pool]
+	if !ok {
+		return PGID{}, nil, fmt.Errorf("rados: pool %q does not exist", pool)
+	}
+	pg := PGForObject(object, pi.PGNum)
+	acting := OSDsForPG(m, pool, pg, pi.Replicas)
+	if len(acting) == 0 {
+		return PGID{}, nil, fmt.Errorf("rados: no OSDs up for %s/%s", pool, object)
+	}
+	return PGID{Pool: pool, PG: pg}, acting, nil
+}

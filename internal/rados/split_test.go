@@ -1,0 +1,148 @@
+package rados
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPGSplitPreservesData grows a pool's PG count mid-life and checks
+// every object remains readable at its new home (§4.4's placement group
+// splitting).
+func TestPGSplitPreservesData(t *testing.T) {
+	tc := bootCluster(t, 4, 2)
+	ctx := ctxT(t, 30*time.Second)
+
+	const n = 48
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		if err := tc.client.WriteFull(ctx, "data", name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.client.OmapSet(ctx, "data", name, map[string][]byte{"k": []byte(name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Grow 8 -> 32 PGs.
+	if err := tc.client.Mon().ResizePool(ctx, "data", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.client.RefreshMap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Everything must be readable at its new placement. Object moves are
+	// asynchronous daemon-to-daemon pushes, so poll briefly per object.
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			got, err := tc.client.Read(ctx, "data", name)
+			if err == nil {
+				if string(got) != name {
+					t.Fatalf("%s corrupted after split: %q", name, got)
+				}
+				kv, err := tc.client.OmapGet(ctx, "data", name, "k")
+				if err != nil || string(kv["k"]) != name {
+					t.Fatalf("%s omap lost after split: %v %v", name, kv, err)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s unreadable after split: %v", name, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestPGSplitSpreadsPlacement confirms the split actually changes where
+// objects live (more PGs = finer placement).
+func TestPGSplitSpreadsPlacement(t *testing.T) {
+	moved := 0
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		if PGForObject(name, 8) != PGForObject(name, 32) {
+			moved++
+		}
+	}
+	// With 8->32, roughly 3/4 of objects should land in a new PG.
+	if moved < 32 {
+		t.Fatalf("only %d/64 objects changed PG on a 4x split", moved)
+	}
+}
+
+// TestPoolResizeValidation: shrinking or resizing unknown pools is
+// rejected at the monitor (logged, not applied).
+func TestPoolResizeValidation(t *testing.T) {
+	tc := bootCluster(t, 2, 1)
+	ctx := ctxT(t, 15*time.Second)
+
+	if err := tc.client.Mon().ResizePool(ctx, "data", 4); err != nil {
+		t.Fatal(err) // the update commits; the op is a logged no-op
+	}
+	m, err := tc.client.Mon().GetOSDMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pools["data"].PGNum != 8 {
+		t.Fatalf("shrink applied: pgnum = %d", m.Pools["data"].PGNum)
+	}
+	entries, err := tc.client.Mon().GetLog(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Level == "error" && strings.Contains(e.Msg, "resize") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("invalid resize not logged")
+	}
+}
+
+// TestWritesDuringSplit runs a writer concurrently with a split and
+// verifies nothing is lost.
+func TestWritesDuringSplit(t *testing.T) {
+	tc := bootCluster(t, 4, 2)
+	ctx := ctxT(t, 30*time.Second)
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("live-%d", i)
+			if err := tc.client.WriteFull(ctx, "data", name, []byte(name)); err != nil {
+				done <- fmt.Errorf("write %s: %w", name, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		done <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := tc.client.Mon().ResizePool(ctx, "data", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("live-%d", i)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			got, err := tc.client.Read(ctx, "data", name)
+			if err == nil && string(got) == name {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s lost across split: %q %v", name, got, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+var _ = context.Background

@@ -1,0 +1,185 @@
+// Package rados implements the reliable distributed object store that
+// Malacology re-purposes (Section 4.4 of the paper): object storage
+// daemons (OSDs) holding replicated placement groups of objects, each
+// object a bytestream plus a sorted key-value database (omap) plus
+// extended attributes; primary-copy replication; epoch-guarded
+// operations; peer-to-peer gossip of cluster maps; background scrub; and
+// dynamically installed object interface classes executed next to the
+// data (Section 4.2). It is the durability substrate under both Mantle
+// (policy objects) and ZLog (log entry storage).
+package rados
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// OpCode enumerates object operations.
+type OpCode int
+
+// Object operations.
+const (
+	OpRead OpCode = iota
+	OpWriteFull
+	OpAppend
+	OpStat
+	OpRemove
+	OpCreate
+	OpOmapGet
+	OpOmapSet
+	OpOmapDel
+	OpOmapList
+	OpGetXattr
+	OpSetXattr
+	OpCall // invoke an object-class method
+)
+
+func (o OpCode) String() string {
+	names := [...]string{"read", "write-full", "append", "stat", "remove",
+		"create", "omap-get", "omap-set", "omap-del", "omap-list",
+		"getxattr", "setxattr", "call"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ResultCode is the outcome class of an operation.
+type ResultCode int
+
+// Result codes (mirroring the errno-style results Ceph classes use).
+const (
+	OK ResultCode = iota
+	ENOENT
+	EEXIST
+	ESTALE // application-level staleness (e.g. a sealed epoch in a class)
+	EINVAL
+	EIO
+	ECANCELED // class method explicitly aborted the transaction
+	// EMapStale is cluster-map staleness: the sender's OSDMap epoch is
+	// out of date or placement moved. The client library retries it
+	// transparently after a map refresh; it never reaches applications.
+	EMapStale
+)
+
+func (r ResultCode) String() string {
+	names := [...]string{"OK", "ENOENT", "EEXIST", "ESTALE", "EINVAL", "EIO", "ECANCELED", "EMAPSTALE"}
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return fmt.Sprintf("rc(%d)", int(r))
+}
+
+// Errors surfaced by the client.
+var (
+	ErrNotFound = errors.New("rados: object not found")
+	ErrExists   = errors.New("rados: object exists")
+	ErrStale    = errors.New("rados: stale map epoch")
+	ErrInval    = errors.New("rados: invalid argument")
+	ErrIO       = errors.New("rados: io error")
+	ErrCanceled = errors.New("rados: operation canceled by class")
+)
+
+// ErrFor converts a result code to a sentinel error (nil for OK).
+func ErrFor(rc ResultCode, detail string) error {
+	var base error
+	switch rc {
+	case OK:
+		return nil
+	case ENOENT:
+		base = ErrNotFound
+	case EEXIST:
+		base = ErrExists
+	case ESTALE, EMapStale:
+		base = ErrStale
+	case EINVAL:
+		base = ErrInval
+	case ECANCELED:
+		base = ErrCanceled
+	default:
+		base = ErrIO
+	}
+	if detail == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, detail)
+}
+
+// OpRequest is one object operation addressed to the primary OSD of the
+// object's placement group.
+type OpRequest struct {
+	Pool   string
+	Object string
+	// Epoch is the sender's OSDMap epoch; daemons reject ops from
+	// clients with older maps (ESTALE) so that interface changes and
+	// placement changes are observed before I/O continues.
+	Epoch types.Epoch
+	Op    OpCode
+
+	Data   []byte            // write-full / append payload
+	Key    string            // omap/xattr key
+	Keys   []string          // omap multi-get
+	KV     map[string][]byte // omap-set payload
+	Class  string            // OpCall: class name
+	Method string            // OpCall: method name
+	Input  []byte            // OpCall: method input
+
+	// Replica marks a primary-to-replica forward; replicas apply without
+	// re-forwarding.
+	Replica bool
+	// ExpectedVersion, when > 0 with OpCall/writes, is reserved for
+	// optimistic guards (unused by the shipped classes).
+	ExpectedVersion uint64
+}
+
+// OpReply carries the result of an OpRequest.
+type OpReply struct {
+	Result  ResultCode
+	Detail  string
+	Data    []byte
+	KV      map[string][]byte
+	Keys    []string
+	Version uint64      // object version after the op
+	Size    int64       // OpStat
+	Epoch   types.Epoch // daemon's map epoch (lets stale clients resync)
+}
+
+// OSDAddr is the wire address of an OSD.
+func OSDAddr(id int) wire.Addr {
+	return wire.Addr(types.EntityName(types.EntityOSD, id))
+}
+
+// gossipMsg carries a peer's map epoch; a behind peer replies asking for
+// the full map, which the sender pushes.
+type gossipMsg struct {
+	From  int
+	Epoch types.Epoch
+	// Map is attached when the sender knows the receiver is behind.
+	Map *types.OSDMap
+}
+
+// backfillMsg pushes full PG contents to a (possibly new) replica after
+// a map change.
+type backfillMsg struct {
+	Pool    string
+	PG      int
+	Objects []*Object
+	Epoch   types.Epoch
+	// Force replaces objects regardless of version; used by scrub repair
+	// where the primary's copy is authoritative.
+	Force bool
+}
+
+// scrubMsg asks a replica for a digest of its PG contents.
+type scrubMsg struct {
+	Pool string
+	PG   int
+}
+
+// scrubReply returns per-object checksums for a PG.
+type scrubReply struct {
+	Digests map[string]uint64
+}

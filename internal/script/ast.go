@@ -1,0 +1,200 @@
+package script
+
+// The AST mirrors a pragmatic subset of Lua 5.1: blocks of statements,
+// expressions with Lua operator precedence, table constructors, and
+// function literals with lexical closures.
+
+// Node is implemented by every AST node and reports its source line for
+// error attribution.
+type Node interface {
+	nodeLine() int
+}
+
+type pos struct{ Line int }
+
+func (p pos) nodeLine() int { return p.Line }
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+// Block is a sequence of statements sharing one scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+// LocalStmt declares local variables: local a, b = e1, e2.
+type LocalStmt struct {
+	pos
+	Names []string
+	Exprs []Expr
+}
+
+// AssignStmt assigns to one or more lvalues: a, t[k] = e1, e2.
+type AssignStmt struct {
+	pos
+	Targets []Expr // NameExpr or IndexExpr
+	Exprs   []Expr
+}
+
+// CallStmt is an expression statement; only calls are legal.
+type CallStmt struct {
+	pos
+	Call *CallExpr
+}
+
+// IfStmt is if/elseif/else. Clauses[i] guards Bodies[i]; Else may be nil.
+type IfStmt struct {
+	pos
+	Conds  []Expr
+	Bodies []*Block
+	Else   *Block
+}
+
+// WhileStmt is while cond do body end.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *Block
+}
+
+// RepeatStmt is repeat body until cond.
+type RepeatStmt struct {
+	pos
+	Body *Block
+	Cond Expr
+}
+
+// NumForStmt is for i = start, stop[, step] do body end.
+type NumForStmt struct {
+	pos
+	Var   string
+	Start Expr
+	Stop  Expr
+	Step  Expr // nil means 1
+	Body  *Block
+}
+
+// GenForStmt is for k[, v] in expr do body end. The iterable expression
+// must evaluate to a table (we iterate its pairs in deterministic order)
+// or an iterator function.
+type GenForStmt struct {
+	pos
+	Names []string
+	Expr  Expr
+	Body  *Block
+}
+
+// ReturnStmt returns zero or more values from the enclosing function.
+type ReturnStmt struct {
+	pos
+	Exprs []Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// FuncStmt declares a named function: function name(...) body end, or
+// function a.b.c(...) where Target is the index expression.
+type FuncStmt struct {
+	pos
+	Target Expr // NameExpr or IndexExpr
+	Fn     *FuncExpr
+	Local  bool
+}
+
+// DoStmt is do body end — an explicit scope block.
+type DoStmt struct {
+	pos
+	Body *Block
+}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface{ Node }
+
+// NilExpr is the literal nil.
+type NilExpr struct{ pos }
+
+// TrueExpr is the literal true.
+type TrueExpr struct{ pos }
+
+// FalseExpr is the literal false.
+type FalseExpr struct{ pos }
+
+// NumberExpr is a numeric literal.
+type NumberExpr struct {
+	pos
+	Value float64
+}
+
+// StringExpr is a string literal.
+type StringExpr struct {
+	pos
+	Value string
+}
+
+// VarargExpr is the literal `...` inside a variadic function.
+type VarargExpr struct{ pos }
+
+// NameExpr references a variable by name.
+type NameExpr struct {
+	pos
+	Name string
+}
+
+// IndexExpr is t[k] or t.k (the latter parsed with a string Key).
+type IndexExpr struct {
+	pos
+	Obj Expr
+	Key Expr
+}
+
+// CallExpr calls Fn with Args. If Method is non-empty the call is
+// obj:Method(args) sugar: Fn evaluates the receiver which is also passed
+// as the first argument.
+type CallExpr struct {
+	pos
+	Fn     Expr
+	Method string
+	Args   []Expr
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	pos
+	Op   Kind
+	L, R Expr
+}
+
+// UnExpr is a unary operation: -x, not x, #x.
+type UnExpr struct {
+	pos
+	Op Kind
+	E  Expr
+}
+
+// FuncExpr is a function literal.
+type FuncExpr struct {
+	pos
+	Params   []string
+	Variadic bool
+	Body     *Block
+}
+
+// TableField is one entry in a table constructor. Exactly one of the
+// following holds: Key != nil (explicit [k]=v or name=v), or positional
+// (Key == nil, appended at the next array index).
+type TableField struct {
+	Key   Expr
+	Value Expr
+}
+
+// TableExpr is a table constructor { ... }.
+type TableExpr struct {
+	pos
+	Fields []TableField
+}

@@ -1,0 +1,73 @@
+package script_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/script"
+)
+
+// ExampleInterp_Run shows basic chunk evaluation.
+func ExampleInterp_Run() {
+	ip := script.New(script.WithStdout(os.Stdout))
+	vals, err := ip.Run(`
+		local total = 0
+		for i = 1, 10 do total = total + i end
+		print("total:", total)
+		return total
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("returned:", vals[0])
+	// Output:
+	// total:	55
+	// returned: 55
+}
+
+// ExampleInterp_Call shows the host-callback pattern Mantle uses: the
+// script defines a policy predicate; the host calls it per tick.
+func ExampleInterp_Call() {
+	ip := script.New()
+	if _, err := ip.Run(`function when(load, avg) return load > avg * 1.2 end`); err != nil {
+		panic(err)
+	}
+	when := ip.Global("when")
+	for _, load := range []float64{90, 150} {
+		rs, err := ip.Call(when, load, 100.0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("load=%v migrate=%v\n", load, script.Truthy(rs[0]))
+	}
+	// Output:
+	// load=90 migrate=false
+	// load=150 migrate=true
+}
+
+// ExampleTable shows host-side table construction, the way daemons pass
+// metrics into policies.
+func ExampleTable() {
+	metrics := script.NewTable()
+	metrics.Set("load", 42.5) //nolint:errcheck
+	metrics.Set("rank", 3.0)  //nolint:errcheck
+
+	ip := script.New()
+	ip.SetGlobal("mds", metrics)
+	vals, err := ip.Run(`return mds["load"] / 2, mds.rank + 1`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(vals[0], vals[1])
+	// Output:
+	// 21.25 4
+}
+
+// ExampleWithBudget shows the sandbox cutting off a runaway policy.
+func ExampleWithBudget() {
+	ip := script.New(script.WithBudget(1000))
+	_, err := ip.Run(`while true do end`)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}

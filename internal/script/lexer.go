@@ -1,0 +1,323 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// skipSpace consumes whitespace and comments ("-- ..." to end of line and
+// "--[[ ... ]]" block comments).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			l.advance()
+			l.advance()
+			if l.peek() == '[' && l.peek2() == '[' {
+				l.advance()
+				l.advance()
+				closed := false
+				for l.pos < len(l.src) {
+					if l.peek() == ']' && l.peek2() == ']' {
+						l.advance()
+						l.advance()
+						closed = true
+						break
+					}
+					l.advance()
+				}
+				if !closed {
+					return l.errf("unterminated block comment")
+				}
+			} else {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token in the input.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c), c == '.' && isDigit(l.peek2()):
+		return l.lexNumber(tok)
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && isAlnum(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if kw, ok := keywords[word]; ok {
+			tok.Kind = kw
+		} else {
+			tok.Kind = Ident
+			tok.Text = word
+		}
+		return tok, nil
+	case c == '"' || c == '\'':
+		return l.lexString(tok)
+	}
+
+	l.advance()
+	switch c {
+	case '+':
+		tok.Kind = Plus
+	case '-':
+		tok.Kind = Minus
+	case '*':
+		tok.Kind = Star
+	case '/':
+		tok.Kind = Slash
+	case '%':
+		tok.Kind = Percent
+	case '^':
+		tok.Kind = Caret
+	case '#':
+		tok.Kind = Hash
+	case '(':
+		tok.Kind = LParen
+	case ')':
+		tok.Kind = RParen
+	case '{':
+		tok.Kind = LBrace
+	case '}':
+		tok.Kind = RBrace
+	case '[':
+		tok.Kind = LBracket
+	case ']':
+		tok.Kind = RBracket
+	case ';':
+		tok.Kind = Semi
+	case ':':
+		tok.Kind = Colon
+	case ',':
+		tok.Kind = Comma
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			if l.peek() == '.' {
+				l.advance()
+				tok.Kind = Ellipsis
+			} else {
+				tok.Kind = Concat
+			}
+		} else {
+			tok.Kind = Dot
+		}
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = Eq
+		} else {
+			tok.Kind = Assign
+		}
+	case '~':
+		if l.peek() != '=' {
+			return tok, l.errf("unexpected character %q (did you mean ~=?)", c)
+		}
+		l.advance()
+		tok.Kind = NotEq
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = LessEq
+		} else {
+			tok.Kind = Less
+		}
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = GreaterEq
+		} else {
+			tok.Kind = Greater
+		}
+	default:
+		return tok, l.errf("unexpected character %q", c)
+	}
+	return tok, nil
+}
+
+func (l *lexer) lexNumber(tok Token) (Token, error) {
+	start := l.pos
+	// Hex literal.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return tok, l.errf("bad hex literal %q", l.src[start:l.pos])
+		}
+		tok.Kind = Number
+		tok.Num = float64(v)
+		return tok, nil
+	}
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	v, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+	if err != nil {
+		return tok, l.errf("bad number literal %q", l.src[start:l.pos])
+	}
+	tok.Kind = Number
+	tok.Num = v
+	return tok, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) lexString(tok Token) (Token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return tok, l.errf("unterminated string")
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return tok, l.errf("newline in string")
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return tok, l.errf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return tok, l.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	tok.Kind = String
+	tok.Text = b.String()
+	return tok, nil
+}
+
+// lexAll tokenizes the whole input, appending the terminating EOF token.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,633 @@
+package script
+
+import "fmt"
+
+// Parse compiles source text into a Block ready for execution.
+func Parse(src string) (*Block, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	blk, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != EOF {
+		return nil, p.errf("unexpected %s", p.cur())
+	}
+	return blk, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token     { return p.toks[p.pos] }
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// blockEnd reports whether the current token terminates a block.
+func (p *parser) blockEnd() bool {
+	switch p.cur().Kind {
+	case EOF, KwEnd, KwElse, KwElseif, KwUntil:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	blk := &Block{pos: pos{p.cur().Line}}
+	for !p.blockEnd() {
+		if p.accept(Semi) {
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, st)
+		// return must be the final statement of a block.
+		if _, ok := st.(*ReturnStmt); ok {
+			p.accept(Semi)
+			break
+		}
+	}
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwLocal:
+		return p.parseLocal()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwRepeat:
+		return p.parseRepeat()
+	case KwFor:
+		return p.parseFor()
+	case KwFunction:
+		return p.parseFuncStmt(false)
+	case KwReturn:
+		p.advance()
+		ret := &ReturnStmt{pos: pos{t.Line}}
+		if !p.blockEnd() && !p.at(Semi) {
+			exprs, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			ret.Exprs = exprs
+		}
+		return ret, nil
+	case KwBreak:
+		p.advance()
+		return &BreakStmt{pos{t.Line}}, nil
+	case KwDo:
+		p.advance()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwEnd); err != nil {
+			return nil, err
+		}
+		return &DoStmt{pos{t.Line}, body}, nil
+	}
+	return p.parseExprStmt()
+}
+
+func (p *parser) parseLocal() (Stmt, error) {
+	t := p.advance() // local
+	if p.at(KwFunction) {
+		return p.parseFuncStmt(true)
+	}
+	st := &LocalStmt{pos: pos{t.Line}}
+	for {
+		name, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		st.Names = append(st.Names, name.Text)
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if p.accept(Assign) {
+		exprs, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		st.Exprs = exprs
+	}
+	return st, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.advance() // if
+	st := &IfStmt{pos: pos{t.Line}}
+	for {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwThen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Conds = append(st.Conds, cond)
+		st.Bodies = append(st.Bodies, body)
+		if p.accept(KwElseif) {
+			continue
+		}
+		if p.accept(KwElse) {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		if _, err := p.expect(KwEnd); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	t := p.advance() // while
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwDo); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	return &WhileStmt{pos{t.Line}, cond, body}, nil
+}
+
+func (p *parser) parseRepeat() (Stmt, error) {
+	t := p.advance() // repeat
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwUntil); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &RepeatStmt{pos{t.Line}, body, cond}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.advance() // for
+	first, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(Assign) {
+		start, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		stop, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var step Expr
+		if p.accept(Comma) {
+			step, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(KwDo); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwEnd); err != nil {
+			return nil, err
+		}
+		return &NumForStmt{pos{t.Line}, first.Text, start, stop, step, body}, nil
+	}
+	names := []string{first.Text}
+	for p.accept(Comma) {
+		n, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n.Text)
+	}
+	if _, err := p.expect(KwIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwDo); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	return &GenForStmt{pos{t.Line}, names, iter, body}, nil
+}
+
+func (p *parser) parseFuncStmt(local bool) (Stmt, error) {
+	t := p.advance() // function
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	var target Expr = &NameExpr{pos{name.Line}, name.Text}
+	if local {
+		// local function f ... only a simple name is allowed.
+		fn, err := p.parseFuncBody(t.Line)
+		if err != nil {
+			return nil, err
+		}
+		return &FuncStmt{pos{t.Line}, target, fn, true}, nil
+	}
+	for p.accept(Dot) {
+		field, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		target = &IndexExpr{pos{field.Line}, target, &StringExpr{pos{field.Line}, field.Text}}
+	}
+	fn, err := p.parseFuncBody(t.Line)
+	if err != nil {
+		return nil, err
+	}
+	return &FuncStmt{pos{t.Line}, target, fn, false}, nil
+}
+
+// parseFuncBody parses "(params) block end".
+func (p *parser) parseFuncBody(line int) (*FuncExpr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncExpr{pos: pos{line}}
+	if !p.at(RParen) {
+		for {
+			if p.at(Ellipsis) {
+				p.advance()
+				fn.Variadic = true
+				break
+			}
+			name, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, name.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseExprStmt handles assignments and call statements.
+func (p *parser) parseExprStmt() (Stmt, error) {
+	line := p.cur().Line
+	first, err := p.parseSuffixed()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(Assign) || p.at(Comma) {
+		targets := []Expr{first}
+		for p.accept(Comma) {
+			e, err := p.parseSuffixed()
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, e)
+		}
+		for _, tgt := range targets {
+			switch tgt.(type) {
+			case *NameExpr, *IndexExpr:
+			default:
+				return nil, p.errf("cannot assign to this expression")
+			}
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		exprs, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos{line}, targets, exprs}, nil
+	}
+	call, ok := first.(*CallExpr)
+	if !ok {
+		return nil, p.errf("expression is not a statement")
+	}
+	return &CallStmt{pos{line}, call}, nil
+}
+
+func (p *parser) parseExprList() ([]Expr, error) {
+	var exprs []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		if !p.accept(Comma) {
+			return exprs, nil
+		}
+	}
+}
+
+// Operator precedence, per Lua. Higher binds tighter.
+var binPrec = map[Kind][2]int{ // [left, right] binding powers
+	KwOr:  {1, 1},
+	KwAnd: {2, 2},
+	Less:  {3, 3}, LessEq: {3, 3}, Greater: {3, 3}, GreaterEq: {3, 3},
+	Eq: {3, 3}, NotEq: {3, 3},
+	Concat: {9, 8}, // right associative
+	Plus:   {10, 10}, Minus: {10, 10},
+	Star: {11, 11}, Slash: {11, 11}, Percent: {11, 11},
+	Caret: {14, 13}, // right associative
+}
+
+const unaryPrec = 12
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(limit int) (Expr, error) {
+	var left Expr
+	var err error
+	t := p.cur()
+	switch t.Kind {
+	case Minus, KwNot, Hash:
+		p.advance()
+		operand, err := p.parseBin(unaryPrec)
+		if err != nil {
+			return nil, err
+		}
+		left = &UnExpr{pos{t.Line}, t.Kind, operand}
+	default:
+		left, err = p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec[0] <= limit {
+			return left, nil
+		}
+		opTok := p.advance()
+		right, err := p.parseBin(prec[1])
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{pos{opTok.Line}, op, left, right}
+	}
+}
+
+func (p *parser) parseSimple() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwNil:
+		p.advance()
+		return &NilExpr{pos{t.Line}}, nil
+	case KwTrue:
+		p.advance()
+		return &TrueExpr{pos{t.Line}}, nil
+	case KwFalse:
+		p.advance()
+		return &FalseExpr{pos{t.Line}}, nil
+	case Number:
+		p.advance()
+		return &NumberExpr{pos{t.Line}, t.Num}, nil
+	case String:
+		p.advance()
+		return &StringExpr{pos{t.Line}, t.Text}, nil
+	case Ellipsis:
+		p.advance()
+		return &VarargExpr{pos{t.Line}}, nil
+	case KwFunction:
+		p.advance()
+		return p.parseFuncBody(t.Line)
+	case LBrace:
+		return p.parseTable()
+	}
+	return p.parseSuffixed()
+}
+
+// parseSuffixed parses a primary expression followed by any number of
+// index, field, method-call, and call suffixes.
+func (p *parser) parseSuffixed() (Expr, error) {
+	t := p.cur()
+	var e Expr
+	switch t.Kind {
+	case Ident:
+		p.advance()
+		e = &NameExpr{pos{t.Line}, t.Text}
+	case LParen:
+		p.advance()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		e = inner
+	default:
+		return nil, p.errf("unexpected %s", t)
+	}
+	for {
+		switch p.cur().Kind {
+		case Dot:
+			p.advance()
+			field, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{pos{field.Line}, e, &StringExpr{pos{field.Line}, field.Text}}
+		case LBracket:
+			p.advance()
+			key, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{pos{p.cur().Line}, e, key}
+		case Colon:
+			p.advance()
+			method, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.parseCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &CallExpr{pos{method.Line}, e, method.Text, args}
+		case LParen, String, LBrace:
+			args, err := p.parseCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &CallExpr{pos{p.cur().Line}, e, "", args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseCallArgs parses "(a, b)", a single string literal, or a single
+// table constructor (Lua call sugar).
+func (p *parser) parseCallArgs() ([]Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case String:
+		p.advance()
+		return []Expr{&StringExpr{pos{t.Line}, t.Text}}, nil
+	case LBrace:
+		tbl, err := p.parseTable()
+		if err != nil {
+			return nil, err
+		}
+		return []Expr{tbl}, nil
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if p.accept(RParen) {
+		return nil, nil
+	}
+	args, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parseTable() (Expr, error) {
+	t, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &TableExpr{pos: pos{t.Line}}
+	for !p.at(RBrace) {
+		var field TableField
+		switch {
+		case p.at(LBracket):
+			p.advance()
+			key, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Assign); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			field = TableField{Key: key, Value: val}
+		case p.at(Ident) && p.toks[p.pos+1].Kind == Assign:
+			name := p.advance()
+			p.advance() // =
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			field = TableField{Key: &StringExpr{pos{name.Line}, name.Text}, Value: val}
+		default:
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			field = TableField{Value: val}
+		}
+		tbl.Fields = append(tbl.Fields, field)
+		if !p.accept(Comma) && !p.accept(Semi) {
+			break
+		}
+	}
+	if _, err := p.expect(RBrace); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

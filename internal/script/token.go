@@ -1,0 +1,124 @@
+// Package script implements a small embedded scripting language in the
+// spirit of Lua. Malacology uses it wherever the paper embeds a Lua VM:
+// dynamically installed object interfaces in the object storage daemons
+// (Section 4.2) and Mantle load balancer policies in the metadata servers
+// (Section 4.3.3). The language has nil/boolean/number/string/table/function
+// values, lexical closures, and a sandboxed tree-walking evaluator with an
+// instruction budget so a buggy policy cannot wedge a daemon.
+package script
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the operator kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	String
+
+	// Operators and delimiters.
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Caret     // ^
+	Hash      // #
+	Eq        // ==
+	NotEq     // ~=
+	Less      // <
+	LessEq    // <=
+	Greater   // >
+	GreaterEq // >=
+	Assign    // =
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Semi      // ;
+	Colon     // :
+	Comma     // ,
+	Dot       // .
+	Concat    // ..
+	Ellipsis  // ...
+
+	// Keywords.
+	KwAnd
+	KwBreak
+	KwDo
+	KwElse
+	KwElseif
+	KwEnd
+	KwFalse
+	KwFor
+	KwFunction
+	KwIf
+	KwIn
+	KwLocal
+	KwNil
+	KwNot
+	KwOr
+	KwRepeat
+	KwReturn
+	KwThen
+	KwTrue
+	KwUntil
+	KwWhile
+)
+
+var kindNames = map[Kind]string{
+	EOF: "<eof>", Ident: "identifier", Number: "number", String: "string",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%", Caret: "^",
+	Hash: "#", Eq: "==", NotEq: "~=", Less: "<", LessEq: "<=", Greater: ">",
+	GreaterEq: ">=", Assign: "=", LParen: "(", RParen: ")", LBrace: "{",
+	RBrace: "}", LBracket: "[", RBracket: "]", Semi: ";", Colon: ":",
+	Comma: ",", Dot: ".", Concat: "..", Ellipsis: "...",
+	KwAnd: "and", KwBreak: "break", KwDo: "do", KwElse: "else",
+	KwElseif: "elseif", KwEnd: "end", KwFalse: "false", KwFor: "for",
+	KwFunction: "function", KwIf: "if", KwIn: "in", KwLocal: "local",
+	KwNil: "nil", KwNot: "not", KwOr: "or", KwRepeat: "repeat",
+	KwReturn: "return", KwThen: "then", KwTrue: "true", KwUntil: "until",
+	KwWhile: "while",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"and": KwAnd, "break": KwBreak, "do": KwDo, "else": KwElse,
+	"elseif": KwElseif, "end": KwEnd, "false": KwFalse, "for": KwFor,
+	"function": KwFunction, "if": KwIf, "in": KwIn, "local": KwLocal,
+	"nil": KwNil, "not": KwNot, "or": KwOr, "repeat": KwRepeat,
+	"return": KwReturn, "then": KwThen, "true": KwTrue, "until": KwUntil,
+	"while": KwWhile,
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind Kind
+	Text string  // raw text for Ident; decoded value for String
+	Num  float64 // value for Number
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case Number:
+		return fmt.Sprintf("%v", t.Num)
+	case String:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,273 @@
+// Package wire is the in-process message fabric that every Malacology
+// daemon (monitors, object storage daemons, metadata servers) and client
+// communicates over. It stands in for the paper's data-center network:
+// per-message latency with jitter, probabilistic drops, and pairwise
+// partitions are all injectable, which is what lets the test suite and
+// benchmark harness reproduce failure and contention scenarios from the
+// evaluation without physical hardware.
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr names an endpoint on the fabric, e.g. "mon.0", "osd.17", "mds.a",
+// "client.42".
+type Addr string
+
+// Handler processes a request addressed to an endpoint and returns a
+// response. Handlers run on the caller's goroutine for Call and on a
+// fresh goroutine for Send, so they must be safe for concurrent use.
+type Handler func(ctx context.Context, from Addr, req any) (any, error)
+
+// Errors returned by the fabric itself (as opposed to by handlers).
+var (
+	ErrUnreachable = errors.New("wire: endpoint unreachable")
+	ErrDropped     = errors.New("wire: message dropped")
+	ErrPartitioned = errors.New("wire: endpoints partitioned")
+)
+
+// Stats counts fabric traffic; useful for asserting message complexity.
+type Stats struct {
+	Calls   uint64
+	Sends   uint64
+	Drops   uint64
+	Refused uint64
+}
+
+// Network is an in-process fabric. The zero value is not usable; call
+// NewNetwork.
+type Network struct {
+	mu         sync.RWMutex
+	endpoints  map[Addr]Handler
+	partitions map[[2]Addr]bool
+	latency    time.Duration
+	jitter     time.Duration
+	dropRate   float64
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+
+	calls   atomic.Uint64
+	sends   atomic.Uint64
+	drops   atomic.Uint64
+	refused atomic.Uint64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the one-way delivery delay and its uniform jitter.
+func WithLatency(base, jitter time.Duration) Option {
+	return func(n *Network) {
+		n.latency = base
+		n.jitter = jitter
+	}
+}
+
+// WithDropRate sets the probability in [0,1) that a message is lost.
+func WithDropRate(p float64) Option {
+	return func(n *Network) { n.dropRate = p }
+}
+
+// WithSeed seeds the fabric's random source so drop/jitter sequences are
+// reproducible.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewNetwork builds a fabric. By default delivery is immediate, lossless
+// and unpartitioned.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		endpoints:  make(map[Addr]Handler),
+		partitions: make(map[[2]Addr]bool),
+		rng:        rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Listen registers handler at addr, replacing any previous registration.
+func (n *Network) Listen(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[addr] = h
+}
+
+// Unlisten removes addr from the fabric; subsequent messages to it fail
+// with ErrUnreachable. Use it to simulate daemon crashes.
+func (n *Network) Unlisten(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// Partition severs connectivity between a and b (both directions).
+func (n *Network) Partition(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = true
+}
+
+// Heal restores connectivity between a and b.
+func (n *Network) Heal(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[[2]Addr]bool)
+}
+
+// SetLatency adjusts delivery delay at runtime.
+func (n *Network) SetLatency(base, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = base
+	n.jitter = jitter
+}
+
+// SetDropRate adjusts message loss probability at runtime.
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = p
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Calls:   n.calls.Load(),
+		Sends:   n.sends.Load(),
+		Drops:   n.drops.Load(),
+		Refused: n.refused.Load(),
+	}
+}
+
+func pairKey(a, b Addr) [2]Addr {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Addr{a, b}
+}
+
+// route validates reachability and returns the handler plus the one-way
+// delay to apply.
+func (n *Network) route(from, to Addr) (Handler, time.Duration, error) {
+	n.mu.RLock()
+	h, ok := n.endpoints[to]
+	severed := n.partitions[pairKey(from, to)]
+	base, jitter, drop := n.latency, n.jitter, n.dropRate
+	n.mu.RUnlock()
+
+	if severed {
+		n.refused.Add(1)
+		return nil, 0, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, from, to)
+	}
+	if !ok {
+		n.refused.Add(1)
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	if drop > 0 {
+		n.rngMu.Lock()
+		lost := n.rng.Float64() < drop
+		n.rngMu.Unlock()
+		if lost {
+			n.drops.Add(1)
+			return nil, 0, ErrDropped
+		}
+	}
+	d := base
+	if jitter > 0 {
+		n.rngMu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(jitter)))
+		n.rngMu.Unlock()
+	}
+	return h, d, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call performs a round-trip RPC: request latency, handler execution,
+// response latency. It is the fabric's synchronous primitive.
+func (n *Network) Call(ctx context.Context, from, to Addr, req any) (any, error) {
+	h, d, err := n.route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	n.calls.Add(1)
+	if err := sleepCtx(ctx, d); err != nil {
+		return nil, err
+	}
+	resp, err := h(ctx, from, req)
+	if err != nil {
+		return nil, err
+	}
+	// The response travels back under the same delay; once the request
+	// was delivered the reply is considered in flight, so later drops or
+	// partitions do not affect it.
+	if err := sleepCtx(ctx, d); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Send delivers req one-way without waiting for handler completion. The
+// handler's return value is discarded. Delivery failures are silent, as
+// on a real network.
+func (n *Network) Send(from, to Addr, req any) {
+	h, d, err := n.route(from, to)
+	if err != nil {
+		return
+	}
+	n.sends.Add(1)
+	go func() {
+		if d > 0 {
+			time.Sleep(d)
+		}
+		_, _ = h(context.Background(), from, req)
+	}()
+}
+
+// Broadcast sends req one-way to every listed destination.
+func (n *Network) Broadcast(from Addr, to []Addr, req any) {
+	for _, t := range to {
+		n.Send(from, t, req)
+	}
+}
+
+// Endpoints returns the currently registered addresses (sorted order not
+// guaranteed); primarily for tests and introspection tools.
+func (n *Network) Endpoints() []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Addr, 0, len(n.endpoints))
+	for a := range n.endpoints {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func echoHandler(_ context.Context, _ Addr, req any) (any, error) {
+	return req, nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	n.Listen("osd.0", echoHandler)
+	resp, err := n.Call(context.Background(), "client.1", "osd.0", "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ping" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestCallUnreachable(t *testing.T) {
+	n := NewNetwork()
+	_, err := n.Call(context.Background(), "client.1", "osd.9", "ping")
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestUnlistenSimulatesCrash(t *testing.T) {
+	n := NewNetwork()
+	n.Listen("mds.a", echoHandler)
+	if _, err := n.Call(context.Background(), "c", "mds.a", 1); err != nil {
+		t.Fatal(err)
+	}
+	n.Unlisten("mds.a")
+	if _, err := n.Call(context.Background(), "c", "mds.a", 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := NewNetwork()
+	n.Listen("mon.0", echoHandler)
+	n.Partition("client.1", "mon.0")
+	if _, err := n.Call(context.Background(), "client.1", "mon.0", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	// Partition is symmetric.
+	n.Listen("client.1", echoHandler)
+	if _, err := n.Call(context.Background(), "mon.0", "client.1", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("reverse err = %v, want ErrPartitioned", err)
+	}
+	// Unrelated endpoints unaffected.
+	if _, err := n.Call(context.Background(), "client.2", "mon.0", 1); err != nil {
+		t.Fatalf("unrelated call failed: %v", err)
+	}
+	n.Heal("mon.0", "client.1")
+	if _, err := n.Call(context.Background(), "client.1", "mon.0", 1); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	n := NewNetwork()
+	n.Listen("a", echoHandler)
+	n.Listen("b", echoHandler)
+	n.Partition("a", "b")
+	n.Partition("a", "c")
+	n.HealAll()
+	if _, err := n.Call(context.Background(), "b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := NewNetwork(WithLatency(5*time.Millisecond, 0))
+	n.Listen("osd.0", echoHandler)
+	start := time.Now()
+	if _, err := n.Call(context.Background(), "c", "osd.0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 10ms (two one-way hops)", d)
+	}
+}
+
+func TestCallHonorsContext(t *testing.T) {
+	n := NewNetwork(WithLatency(time.Second, 0))
+	n.Listen("osd.0", echoHandler)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Call(ctx, "c", "osd.0", 1)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("context cancellation did not interrupt latency sleep")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := NewNetwork(WithDropRate(1.0), WithSeed(7))
+	n.Listen("osd.0", echoHandler)
+	if _, err := n.Call(context.Background(), "c", "osd.0", 1); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	n.SetDropRate(0)
+	if _, err := n.Call(context.Background(), "c", "osd.0", 1); err != nil {
+		t.Fatalf("after clearing drop rate: %v", err)
+	}
+}
+
+func TestSendAsync(t *testing.T) {
+	n := NewNetwork()
+	var got atomic.Int64
+	done := make(chan struct{})
+	n.Listen("osd.0", func(_ context.Context, _ Addr, req any) (any, error) {
+		got.Store(int64(req.(int)))
+		close(done)
+		return nil, nil
+	})
+	n.Send("c", "osd.0", 42)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("send not delivered")
+	}
+	if got.Load() != 42 {
+		t.Fatalf("got %d", got.Load())
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := NewNetwork()
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	wg.Add(3)
+	h := func(_ context.Context, _ Addr, _ any) (any, error) {
+		count.Add(1)
+		wg.Done()
+		return nil, nil
+	}
+	n.Listen("osd.0", h)
+	n.Listen("osd.1", h)
+	n.Listen("osd.2", h)
+	n.Broadcast("mon.0", []Addr{"osd.0", "osd.1", "osd.2"}, "map-update")
+	waitTimeout(t, &wg, 2*time.Second)
+	if count.Load() != 3 {
+		t.Fatalf("delivered %d, want 3", count.Load())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := NewNetwork()
+	n.Listen("a", echoHandler)
+	_, _ = n.Call(context.Background(), "x", "a", 1)
+	_, _ = n.Call(context.Background(), "x", "missing", 1)
+	n.Send("x", "a", 1)
+	s := n.Stats()
+	if s.Calls != 1 || s.Refused != 1 || s.Sends != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := NewNetwork()
+	var served atomic.Int64
+	n.Listen("osd.0", func(_ context.Context, _ Addr, req any) (any, error) {
+		served.Add(1)
+		return req, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := n.Call(context.Background(), Addr("c"), "osd.0", i)
+			if err != nil || resp != i {
+				t.Errorf("call %d: resp=%v err=%v", i, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if served.Load() != 64 {
+		t.Fatalf("served %d", served.Load())
+	}
+}
+
+func TestPropPartitionSymmetry(t *testing.T) {
+	// pairKey must be order-insensitive for any pair of addresses.
+	f := func(a, b string) bool {
+		return pairKey(Addr(a), Addr(b)) == pairKey(Addr(b), Addr(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSeededNetworksAgree(t *testing.T) {
+	// Two fabrics with the same seed drop the same message sequence.
+	f := func(seed int64, trials uint8) bool {
+		n1 := NewNetwork(WithDropRate(0.5), WithSeed(seed))
+		n2 := NewNetwork(WithDropRate(0.5), WithSeed(seed))
+		n1.Listen("a", echoHandler)
+		n2.Listen("a", echoHandler)
+		for i := 0; i < int(trials%32); i++ {
+			_, e1 := n1.Call(context.Background(), "c", "a", i)
+			_, e2 := n2.Call(context.Background(), "c", "a", i)
+			if (e1 == nil) != (e2 == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitTimeout(t *testing.T, wg *sync.WaitGroup, d time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("timed out waiting")
+	}
+}

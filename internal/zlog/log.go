@@ -1,0 +1,282 @@
+package zlog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/mds"
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Entry-state errors.
+var (
+	ErrNotWritten = errors.New("zlog: position not written")
+	ErrFilled     = errors.New("zlog: position filled (junk)")
+	ErrTrimmed    = errors.New("zlog: position trimmed")
+	ErrStale      = errors.New("zlog: stale epoch")
+)
+
+// Options configures a log handle.
+type Options struct {
+	Name string // log name (namespaces objects, sequencer, epoch key)
+	Pool string // RADOS pool holding log entry objects
+	// Width stripes log entries across this many objects (CORFU's
+	// cluster striping); default 4.
+	Width int
+	// SeqPolicy is the capability policy on the sequencer inode. The
+	// zero value forces round-trips (the centralized-sequencer mode of
+	// §6.2); Cacheable with Delay/Quota enables the batching modes of
+	// Figures 5-7.
+	SeqPolicy mds.CapPolicy
+}
+
+// Log is a client handle to one shared log.
+type Log struct {
+	opts Options
+	rc   *rados.Client
+	mc   *mds.Client
+	monc *mon.Client
+
+	mu    sync.Mutex
+	epoch uint64
+}
+
+// SeqPath returns the sequencer inode path for log name.
+func SeqPath(name string) string { return "/zlog/" + name + "/seq" }
+
+// Open creates or attaches to a log. It installs the storage class (if
+// absent), creates the sequencer inode, and initializes the epoch.
+func Open(ctx context.Context, net *wire.Network, self wire.Addr, mons []int, opts Options) (*Log, error) {
+	if opts.Name == "" || opts.Pool == "" {
+		return nil, fmt.Errorf("zlog: name and pool are required")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 4
+	}
+	l := &Log{
+		opts: opts,
+		rc:   rados.NewClient(net, self+".rados", mons),
+		mc:   mds.NewClient(net, self, mons),
+		monc: mon.NewClient(net, self+".mon", mons),
+	}
+	if err := InstallClass(ctx, l.monc); err != nil {
+		return nil, err
+	}
+	if err := l.rc.RefreshMap(ctx); err != nil {
+		return nil, err
+	}
+	if err := l.mc.Start(ctx); err != nil {
+		return nil, err
+	}
+	if err := l.mc.Open(ctx, SeqPath(opts.Name), mds.TypeSequencer, &opts.SeqPolicy); err != nil {
+		return nil, fmt.Errorf("zlog: create sequencer: %w", err)
+	}
+	// Initialize the epoch if this is a fresh log.
+	ep, err := l.fetchEpoch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ep == 0 {
+		if err := l.monc.SetService(ctx, types.MapOSD, EpochKey(opts.Name), "1"); err != nil {
+			return nil, err
+		}
+		ep = 1
+	}
+	l.mu.Lock()
+	l.epoch = ep
+	l.mu.Unlock()
+	return l, nil
+}
+
+// Close releases client resources.
+func (l *Log) Close() { l.mc.Stop() }
+
+// Epoch returns the client's cached log epoch.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+func (l *Log) fetchEpoch(ctx context.Context) (uint64, error) {
+	m, err := l.monc.GetOSDMap(ctx)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := m.Service[EpochKey(l.opts.Name)]
+	if !ok {
+		return 0, nil
+	}
+	ep, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("zlog: corrupt epoch %q: %w", v, err)
+	}
+	return ep, nil
+}
+
+func (l *Log) refreshEpoch(ctx context.Context) error {
+	ep, err := l.fetchEpoch(ctx)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if ep > l.epoch {
+		l.epoch = ep
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// objectFor maps a log position to its stripe object.
+func (l *Log) objectFor(pos uint64) string {
+	return fmt.Sprintf("%s.%d", l.opts.Name, pos%uint64(l.opts.Width))
+}
+
+// call invokes a storage-class method with the epoch prefix, refreshing
+// the epoch and retrying once when sealed mid-flight.
+func (l *Log) call(ctx context.Context, pos uint64, method, args string) ([]byte, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		input := strconv.FormatUint(l.Epoch(), 10) + ":" + args
+		out, err := l.rc.Call(ctx, l.opts.Pool, l.objectFor(pos), ClassName, method, []byte(input))
+		if err != nil && errors.Is(err, rados.ErrStale) {
+			// Sealed: a recovery bumped the epoch. Resync and retry.
+			if rerr := l.refreshEpoch(ctx); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		}
+		return out, err
+	}
+	return nil, ErrStale
+}
+
+// Append assigns the next position from the sequencer and writes data
+// there. On a sealed-epoch race it resynchronizes and retries with a
+// fresh position, as CORFU clients do.
+func (l *Log) Append(ctx context.Context, data []byte) (uint64, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		v, err := l.mc.Next(ctx, SeqPath(l.opts.Name))
+		if err != nil {
+			return 0, fmt.Errorf("zlog: sequencer: %w", err)
+		}
+		pos := v - 1 // sequencer counts from 1; log positions from 0
+		args := strconv.FormatUint(pos, 10) + ":" + string(data)
+		_, err = l.call(ctx, pos, "write", args)
+		switch {
+		case err == nil:
+			return pos, nil
+		case errors.Is(err, rados.ErrExists):
+			// Someone (e.g. recovery fill) took the position; get a new one.
+			continue
+		default:
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("zlog: append retries exhausted")
+}
+
+// Read returns the entry at pos. Reads never block on the sequencer, so
+// they proceed even during sequencer failure (§5.2.2).
+func (l *Log) Read(ctx context.Context, pos uint64) ([]byte, error) {
+	out, err := l.call(ctx, pos, "read", strconv.FormatUint(pos, 10))
+	if err != nil {
+		if errors.Is(err, rados.ErrNotFound) {
+			return nil, ErrNotWritten
+		}
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, ErrNotWritten
+	}
+	switch out[0] {
+	case 'D':
+		return out[1:], nil
+	case 'F':
+		return nil, ErrFilled
+	case 'T':
+		return nil, ErrTrimmed
+	}
+	return nil, fmt.Errorf("zlog: corrupt entry state %q", out[0])
+}
+
+// Fill marks pos as junk so readers skip it.
+func (l *Log) Fill(ctx context.Context, pos uint64) error {
+	_, err := l.call(ctx, pos, "fill", strconv.FormatUint(pos, 10))
+	if errors.Is(err, rados.ErrExists) {
+		return fmt.Errorf("zlog: fill %d: %w", pos, rados.ErrExists)
+	}
+	return err
+}
+
+// Trim releases the storage at pos.
+func (l *Log) Trim(ctx context.Context, pos uint64) error {
+	_, err := l.call(ctx, pos, "trim", strconv.FormatUint(pos, 10))
+	return err
+}
+
+// Tail returns the next position the sequencer will assign (i.e. the
+// current length of the log).
+func (l *Log) Tail(ctx context.Context) (uint64, error) {
+	return l.mc.Read(ctx, SeqPath(l.opts.Name))
+}
+
+// Recover runs the CORFU sequencer-recovery protocol (§5.2.2): bump the
+// epoch in the service metadata (invalidating stale clients), seal every
+// stripe object (collecting the maximum written position), and install
+// the recomputed tail into the sequencer inode.
+func (l *Log) Recover(ctx context.Context) error {
+	cur, err := l.fetchEpoch(ctx)
+	if err != nil {
+		return err
+	}
+	newEpoch := cur + 1
+	if err := l.monc.SetService(ctx, types.MapOSD, EpochKey(l.opts.Name), strconv.FormatUint(newEpoch, 10)); err != nil {
+		return fmt.Errorf("zlog: publish epoch: %w", err)
+	}
+
+	// Seal all stripe objects; sealing is what guarantees no in-flight
+	// stale append can land after we compute the tail.
+	maxPos := int64(-1)
+	epochArg := []byte(strconv.FormatUint(newEpoch, 10))
+	for i := 0; i < l.opts.Width; i++ {
+		obj := fmt.Sprintf("%s.%d", l.opts.Name, i)
+		out, err := l.rc.Call(ctx, l.opts.Pool, obj, ClassName, "seal", epochArg)
+		if err != nil {
+			if errors.Is(err, rados.ErrStale) {
+				// Another recovery with a higher epoch is in flight; defer
+				// to it.
+				return fmt.Errorf("zlog: concurrent recovery: %w", ErrStale)
+			}
+			return fmt.Errorf("zlog: seal %s: %w", obj, err)
+		}
+		mp, perr := strconv.ParseInt(string(out), 10, 64)
+		if perr != nil {
+			return fmt.Errorf("zlog: seal %s returned %q", obj, out)
+		}
+		if mp > maxPos {
+			maxPos = mp
+		}
+	}
+
+	// Install the recomputed tail: the sequencer resumes at maxPos+1
+	// (counter value maxPos+1 means next assigned position is maxPos+1).
+	if err := l.mc.SetValue(ctx, SeqPath(l.opts.Name), uint64(maxPos+1)); err != nil {
+		return fmt.Errorf("zlog: install tail: %w", err)
+	}
+	l.mu.Lock()
+	if newEpoch > l.epoch {
+		l.epoch = newEpoch
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// MDS exposes the sequencer's metadata client (for policy tuning in
+// benchmarks).
+func (l *Log) MDS() *mds.Client { return l.mc }
