@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Domain-aware static analysis (internal/analysis): epochguard,
+# lockblock, errdrop, sleepsync, ctxleak. Fails on any unsuppressed
+# finding; suppressions require //lint:ignore <pass> <reason>.
+lint:
+	$(GO) run ./cmd/malacolint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+ci: build vet lint race

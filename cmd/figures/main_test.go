@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed. The figure functions write to stdout directly; the
+// cheap, cluster-free ones (table1/table2) are smoke-tested here.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("figure returned %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestTable1Smoke(t *testing.T) {
+	out := captureStdout(t, func() error { return table1(context.Background()) })
+	for _, want := range []string{"Table 1", "logging", "metadata+management", "locking", "other"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	out := captureStdout(t, func() error { return table2(context.Background()) })
+	if !strings.Contains(out, "Table 2") {
+		t.Errorf("table2 output missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "interface") && !strings.Contains(out, "Interface") {
+		t.Errorf("table2 output names no interfaces:\n%s", out)
+	}
+}

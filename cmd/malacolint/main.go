@@ -1,0 +1,95 @@
+// Command malacolint runs the repository's domain-aware static
+// analysis passes (internal/analysis) over the module in the current
+// directory and prints findings as file:line:col: pass: message. Exit
+// status 1 means at least one unsuppressed finding.
+//
+// Usage:
+//
+//	malacolint [-passes epochguard,errdrop] [-list] [packages]
+//
+// The package patterns default to ./... and are resolved by `go list`
+// relative to the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		passesFlag = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+		listFlag   = flag.Bool("list", false, "list available passes and exit")
+	)
+	flag.Parse()
+
+	all := analysis.Passes()
+	if *listFlag {
+		for _, p := range all {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *passesFlag != "" {
+		byName := make(map[string]*analysis.Pass, len(all))
+		for _, p := range all {
+			byName[p.Name] = p
+		}
+		selected = nil
+		for _, name := range strings.Split(*passesFlag, ",") {
+			name = strings.TrimSpace(name)
+			p, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "malacolint: unknown pass %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, p)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "malacolint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "malacolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	idx := analysis.NewIndex(pkgs)
+	var diags []analysis.Diagnostic
+	for _, pass := range selected {
+		for _, pkg := range pkgs {
+			if pass.Scope != nil && !pass.Scope(pkg.Path) {
+				continue
+			}
+			diags = append(diags, pass.Run(pkg, idx)...)
+		}
+	}
+	diags = analysis.ApplySuppressions(pkgs, diags)
+
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "malacolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -81,7 +82,7 @@ func main() {
 		args := strings.Fields(line)
 		cmd := args[0]
 		cctx, cancel := context.WithTimeout(ctx, 15*time.Second)
-		err := dispatch(cctx, cluster, m, cmd, args[1:])
+		err := dispatch(cctx, m, os.Stdout, cmd, args[1:])
 		cancel()
 		if err != nil {
 			if err == errQuit {
@@ -94,7 +95,7 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cmd string, args []string) error {
+func dispatch(ctx context.Context, m *core.Malacology, out io.Writer, cmd string, args []string) error {
 	need := func(n int) error {
 		if len(args) < n {
 			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
@@ -105,7 +106,7 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 	case "quit", "exit":
 		return errQuit
 	case "help":
-		fmt.Println("status put get omap-set omap-get install call seq-new seq-next svc-set svc-get balancer log quit")
+		fmt.Fprintln(out, "status put get omap-set omap-get install call seq-new seq-next svc-set svc-get balancer log quit")
 		return nil
 
 	case "status":
@@ -117,20 +118,20 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 		if err != nil {
 			return err
 		}
-		fmt.Printf("osdmap e%d: %d osds up %v\n", om.Epoch, len(om.UpOSDs()), om.UpOSDs())
+		fmt.Fprintf(out, "osdmap e%d: %d osds up %v\n", om.Epoch, len(om.UpOSDs()), om.UpOSDs())
 		var pools []string
 		for p := range om.Pools {
 			pools = append(pools, p)
 		}
 		sort.Strings(pools)
-		fmt.Printf("pools: %v\n", pools)
+		fmt.Fprintf(out, "pools: %v\n", pools)
 		var classes []string
 		for c, def := range om.Classes {
 			classes = append(classes, fmt.Sprintf("%s@v%d", c, def.Version))
 		}
 		sort.Strings(classes)
-		fmt.Printf("script classes: %v\n", classes)
-		fmt.Printf("mdsmap e%d: ranks up %v, balancer=%q\n", mm.Epoch, mm.UpRanks(), mm.BalancerVersion)
+		fmt.Fprintf(out, "script classes: %v\n", classes)
+		fmt.Fprintf(out, "mdsmap e%d: ranks up %v, balancer=%q\n", mm.Epoch, mm.UpRanks(), mm.BalancerVersion)
 		return nil
 
 	case "put":
@@ -147,7 +148,7 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s\n", data)
+		fmt.Fprintf(out, "%s\n", data)
 		return nil
 
 	case "omap-set":
@@ -165,9 +166,9 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 			return err
 		}
 		if v, ok := kv[args[2]]; ok {
-			fmt.Printf("%s\n", v)
+			fmt.Fprintf(out, "%s\n", v)
 		} else {
-			fmt.Println("(unset)")
+			fmt.Fprintln(out, "(unset)")
 		}
 		return nil
 
@@ -188,7 +189,7 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 		if err := m.InstallInterface(ctx, args[0], script, "other"); err != nil {
 			return err
 		}
-		fmt.Printf("class %q installed; propagating via gossip\n", args[0])
+		fmt.Fprintf(out, "class %q installed; propagating via gossip\n", args[0])
 		return nil
 
 	case "call":
@@ -199,11 +200,11 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 		if len(args) > 4 {
 			input = []byte(strings.Join(args[4:], " "))
 		}
-		out, err := m.CallInterface(ctx, args[0], args[1], args[2], args[3], input)
+		res, err := m.CallInterface(ctx, args[0], args[1], args[2], args[3], input)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s\n", out)
+		fmt.Fprintf(out, "%s\n", res)
 		return nil
 
 	case "seq-new":
@@ -220,7 +221,7 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 		if err != nil {
 			return err
 		}
-		fmt.Println(v)
+		fmt.Fprintln(out, v)
 		return nil
 
 	case "svc-set":
@@ -237,7 +238,7 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s (epoch %d)\n", v, epoch)
+		fmt.Fprintf(out, "%s (epoch %d)\n", v, epoch)
 		return nil
 
 	case "balancer":
@@ -252,7 +253,7 @@ func dispatch(ctx context.Context, cluster *core.Cluster, m *core.Malacology, cm
 			return err
 		}
 		for _, e := range entries {
-			fmt.Printf("[%s] %s: %s\n", e.Level, e.Source, e.Msg)
+			fmt.Fprintf(out, "[%s] %s: %s\n", e.Level, e.Source, e.Msg)
 		}
 		return nil
 	}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestDispatchSmoke boots a small cluster and drives the shell's
+// dispatch loop the way an operator session would.
+func TestDispatchSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cluster, err := core.Boot(ctx, core.Options{MDSs: 1, Pools: []string{"data"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	m, err := core.Connect(ctx, cluster, "client.test-cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	run := func(cmd string, args ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := dispatch(ctx, m, &out, cmd, args); err != nil {
+			t.Fatalf("%s %v: %v", cmd, args, err)
+		}
+		return out.String()
+	}
+
+	if got := run("status"); !strings.Contains(got, "osdmap e") || !strings.Contains(got, "pools: [data metadata]") {
+		t.Errorf("status output = %q", got)
+	}
+	run("put", "data", "obj1", "hello", "world")
+	if got := run("get", "data", "obj1"); got != "hello world\n" {
+		t.Errorf("get = %q, want %q", got, "hello world\n")
+	}
+	run("omap-set", "data", "obj1", "k", "v")
+	if got := run("omap-get", "data", "obj1", "k"); got != "v\n" {
+		t.Errorf("omap-get = %q, want %q", got, "v\n")
+	}
+	run("seq-new", "/smoke/seq")
+	if got := run("seq-next", "/smoke/seq"); got != "1\n" {
+		t.Errorf("first seq-next = %q, want %q", got, "1\n")
+	}
+	if got := run("seq-next", "/smoke/seq"); got != "2\n" {
+		t.Errorf("second seq-next = %q, want %q", got, "2\n")
+	}
+
+	if err := dispatch(ctx, m, &bytes.Buffer{}, "bogus", nil); err == nil {
+		t.Error("unknown command did not error")
+	}
+	if err := dispatch(ctx, m, &bytes.Buffer{}, "quit", nil); err != errQuit {
+		t.Errorf("quit returned %v, want errQuit", err)
+	}
+}

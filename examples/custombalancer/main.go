@@ -130,6 +130,7 @@ func main() {
 	// Watch inode placement evolve as the policy migrates load.
 	fmt.Println("== placement over time (inodes per rank) ==")
 	for t := 0; t < 12; t++ {
+		//lint:ignore sleepsync demo pacing: sampling placement on a human-readable cadence
 		time.Sleep(500 * time.Millisecond)
 		fmt.Printf("   t=%4.1fs ", float64(t+1)*0.5)
 		for r, srv := range cluster.MDSs {

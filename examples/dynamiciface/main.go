@@ -66,7 +66,8 @@ func main() {
 	if err := monc.InstallClass(ctx, "matrix", matrixV1, "metadata"); err != nil {
 		log.Fatal(err)
 	}
-	time.Sleep(200 * time.Millisecond) // map propagation
+	//lint:ignore sleepsync demo pacing: the example waits out map propagation instead of subscribing to pushes
+	time.Sleep(200 * time.Millisecond)
 	if err := rc.RefreshMap(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -90,6 +91,7 @@ func main() {
 	if err := monc.InstallClass(ctx, "matrix", matrixV2, "metadata"); err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore sleepsync demo pacing: same propagation wait as the v1 install above
 	time.Sleep(200 * time.Millisecond)
 	if err := rc.RefreshMap(ctx); err != nil {
 		log.Fatal(err)

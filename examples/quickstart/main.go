@@ -7,7 +7,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -18,50 +20,55 @@ import (
 func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	if err := run(ctx, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(ctx context.Context, out io.Writer) error {
 	// 1. Boot a cluster: 1 monitor, 3 OSDs, 1 MDS, a "data" pool.
-	fmt.Println("== booting cluster (1 mon, 3 osds, 1 mds) ==")
+	fmt.Fprintln(out, "== booting cluster (1 mon, 3 osds, 1 mds) ==")
 	cluster, err := core.Boot(ctx, core.Options{
 		Mons: 1, OSDs: 3, MDSs: 1,
 		Pools: []string{"data"}, Replicas: 2,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Stop()
 
 	m, err := core.Connect(ctx, cluster, "client.quickstart")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer m.Close()
 
 	// 2. Durability interface: store and fetch an object.
-	fmt.Println("== durability: put/get an object ==")
+	fmt.Fprintln(out, "== durability: put/get an object ==")
 	if err := m.PutObject(ctx, "data", "greeting", []byte("hello, malacology")); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	blob, err := m.GetObject(ctx, "data", "greeting")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("   read back: %q\n", blob)
+	fmt.Fprintf(out, "   read back: %q\n", blob)
 
 	// 3. Service Metadata interface: a strongly consistent, versioned
 	// key on the cluster map.
-	fmt.Println("== service metadata: consistent cluster KV ==")
+	fmt.Fprintln(out, "== service metadata: consistent cluster KV ==")
 	if err := m.SetServiceMeta(ctx, types.MapOSD, "app.version", "1.0"); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	v, epoch, err := m.GetServiceMeta(ctx, types.MapOSD, "app.version")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("   app.version=%s at map epoch %d\n", v, epoch)
+	fmt.Fprintf(out, "   app.version=%s at map epoch %d\n", v, epoch)
 
 	// 4. Data I/O interface: install a script object class at runtime —
 	// no daemon restarts — and call it next to the data.
-	fmt.Println("== data i/o: install + call a script interface ==")
+	fmt.Fprintln(out, "== data i/o: install + call a script interface ==")
 	counter := `
 function bump(cls)
 	local v = tonumber(cls.omap_get("n")) or 0
@@ -71,46 +78,48 @@ function bump(cls)
 end
 `
 	if err := m.InstallInterface(ctx, "accum", counter, "metadata"); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Give the map a beat to propagate, then call the new interface.
+	//lint:ignore sleepsync demo pacing: the tour waits out gossip instead of subscribing to map pushes
 	time.Sleep(200 * time.Millisecond)
 	for _, delta := range []string{"5", "7", "30"} {
-		out, err := m.CallInterface(ctx, "data", "tally", "accum", "bump", []byte(delta))
+		res, err := m.CallInterface(ctx, "data", "tally", "accum", "bump", []byte(delta))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("   bump(%s) -> %s\n", delta, out)
+		fmt.Fprintf(out, "   bump(%s) -> %s\n", delta, res)
 	}
 
 	// 5. File Type + Shared Resource interfaces: a sequencer inode with
 	// a quota capability policy.
-	fmt.Println("== sequencer inode with quota capability policy ==")
+	fmt.Fprintln(out, "== sequencer inode with quota capability policy ==")
 	pol := mds.CapPolicy{Cacheable: true, Quota: 100, Delay: 250 * time.Millisecond}
 	if err := m.CreateSequencer(ctx, "/apps/quickstart/seq", pol); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i := 0; i < 3; i++ {
 		v, err := m.Next(ctx, "/apps/quickstart/seq")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("   next -> %d\n", v)
+		fmt.Fprintf(out, "   next -> %d\n", v)
 	}
 
 	// 6. Centralized cluster log.
 	if err := m.ClusterLog(ctx, "info", "quickstart finished"); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	entries, err := m.Mon().GetLog(ctx, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("== centralized cluster log (tail) ==")
+	fmt.Fprintln(out, "== centralized cluster log (tail) ==")
 	for _, e := range entries[max(0, len(entries)-4):] {
-		fmt.Printf("   [%s] %s: %s\n", e.Level, e.Source, e.Msg)
+		fmt.Fprintf(out, "   [%s] %s: %s\n", e.Level, e.Source, e.Msg)
 	}
-	fmt.Println("done.")
+	fmt.Fprintln(out, "done.")
+	return nil
 }
 
 func max(a, b int) int {

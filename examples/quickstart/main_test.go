@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuickstartSmoke runs the whole tour end to end and asserts the
+// deterministic lines of its transcript.
+func TestQuickstartSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var out bytes.Buffer
+	if err := run(ctx, &out); err != nil {
+		t.Fatalf("quickstart: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		`read back: "hello, malacology"`,
+		"app.version=1.0",
+		"bump(5) -> 5",
+		"bump(7) -> 12",
+		"bump(30) -> 42",
+		"next -> 1",
+		"next -> 2",
+		"next -> 3",
+		"quickstart finished",
+		"done.",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

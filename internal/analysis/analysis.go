@@ -1,0 +1,247 @@
+// Package analysis is a small static-analysis framework plus the
+// domain-aware passes that machine-check Malacology's safety
+// invariants: epoch guards on object-store handlers, no locks held
+// across blocking fabric calls, no silently dropped errors on
+// consensus/storage paths, no sleep-as-synchronization, and no daemon
+// goroutines that can outlive their daemon. The cmd/malacolint driver
+// runs every pass over the repository; `make lint` wires it into the
+// CI gate.
+//
+// Findings are suppressed — auditable, never silent — with a comment on
+// the offending line or the line above:
+//
+//	//lint:ignore <pass> <reason>
+//
+// The reason is mandatory; a bare suppression is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Pass is one analyzer.
+type Pass struct {
+	Name string
+	Doc  string
+	// Scope restricts which packages the driver applies the pass to;
+	// nil means every loaded package. Tests bypass it.
+	Scope func(pkgPath string) bool
+	Run   func(pkg *Package, idx *Index) []Diagnostic
+}
+
+// Passes returns every analyzer with its repository scope configured.
+func Passes() []*Pass {
+	return []*Pass{
+		NewEpochGuard(),
+		NewLockBlock(),
+		NewErrDrop(),
+		NewSleepSync(RepoSleepAllowlist()),
+		NewCtxLeak(),
+	}
+}
+
+// inPackages builds a Scope matcher over exact import paths.
+func inPackages(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkg string) bool { return set[pkg] }
+}
+
+// ---- whole-program index ----
+
+// Index spans every loaded package, so passes can follow calls across
+// package boundaries. Function declarations are keyed by
+// types.Func.FullName(): a source-checked package and an export-data
+// import produce distinct object identities for the same function, but
+// identical full names.
+type Index struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	decls map[string]FuncDecl
+}
+
+// FuncDecl pairs a declaration with its package.
+type FuncDecl struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// NewIndex builds the cross-package index.
+func NewIndex(pkgs []*Package) *Index {
+	idx := &Index{decls: make(map[string]FuncDecl)}
+	if len(pkgs) > 0 {
+		idx.Fset = pkgs[0].Fset
+	}
+	idx.Pkgs = pkgs
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx.decls[fn.FullName()] = FuncDecl{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// DeclOf resolves a function object to its declaration, if the function
+// is declared in one of the loaded packages.
+func (idx *Index) DeclOf(fn *types.Func) (FuncDecl, bool) {
+	fd, ok := idx.decls[fn.FullName()]
+	return fd, ok
+}
+
+// Callee resolves the static callee of a call expression, or nil for
+// calls through function values, method values, and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (time.Sleep).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// position is a small helper: the token.Position of pos in pkg's fset.
+func (p *Package) position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// ---- suppressions ----
+
+const ignorePrefix = "//lint:ignore"
+
+// suppression covers pass diagnostics on a (file, line).
+type suppression struct {
+	file string
+	line int
+	pass string
+}
+
+// collectSuppressions scans a package's comments for //lint:ignore
+// markers. A marker covers its own line (trailing comment) and the line
+// below it (standalone comment). Malformed markers — missing pass or
+// missing reason — are reported as "lint" diagnostics so a suppression
+// can never silently rot into a blanket waiver.
+func collectSuppressions(pkg *Package) (map[suppression]bool, []Diagnostic) {
+	sups := make(map[suppression]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := pkg.position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Pass:    "lint",
+						Message: "malformed suppression: want //lint:ignore <pass> <reason>",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					sups[suppression{file: pos.Filename, line: line, pass: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// ApplySuppressions filters out diagnostics covered by a lint:ignore
+// marker, appends diagnostics for malformed markers, and returns the
+// result sorted by position.
+func ApplySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	sups := make(map[suppression]bool)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		s, bad := collectSuppressions(pkg)
+		for k := range s {
+			sups[k] = true
+		}
+		out = append(out, bad...)
+	}
+	for _, d := range diags {
+		if sups[suppression{file: d.Pos.Filename, line: d.Pos.Line, pass: d.Pass}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}

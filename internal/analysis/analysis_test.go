@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each pass gets a package under testdata/src/
+// annotated with `// want "substring"` comments. A pass must produce
+// exactly the findings the wants describe — same file, same line,
+// message containing the substring — after suppressions are applied.
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "..", "..")
+}
+
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(moduleRoot(t), filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func runFixture(t *testing.T, pass *Pass, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	idx := NewIndex([]*Package{pkg})
+	diags := ApplySuppressions([]*Package{pkg}, pass.Run(pkg, idx))
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := wantRe.FindStringSubmatch(c.Text); m != nil {
+					pos := pkg.position(c.Pos())
+					wants[key{pos.Filename, pos.Line}] = m[1]
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", dir)
+	}
+
+	seen := make(map[key]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		want, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("diagnostic at %s:%d is %q, want substring %q", k.file, k.line, d.Message, want)
+		}
+		seen[k] = true
+	}
+	for k, want := range wants {
+		if !seen[k] {
+			t.Errorf("missing diagnostic at %s:%d (want %q)", k.file, k.line, want)
+		}
+	}
+}
+
+func TestEpochGuard(t *testing.T) { runFixture(t, NewEpochGuard(), "epochguard") }
+
+func TestLockBlock(t *testing.T) { runFixture(t, NewLockBlock(), "lockblock") }
+
+func TestErrDrop(t *testing.T) { runFixture(t, NewErrDrop(), "errdrop") }
+
+func TestSleepSync(t *testing.T) {
+	allow := []SleepAllowance{{PkgSuffix: "sleepsync", Func: "simulatedLatency"}}
+	runFixture(t, NewSleepSync(allow), "sleepsync")
+}
+
+func TestCtxLeak(t *testing.T) { runFixture(t, NewCtxLeak(), "ctxleak") }
+
+// TestMalformedSuppression: a reason-less marker suppresses nothing and
+// is itself reported, so suppressions cannot silently rot.
+func TestMalformedSuppression(t *testing.T) {
+	pkg := loadFixture(t, "lintbad")
+	idx := NewIndex([]*Package{pkg})
+	diags := ApplySuppressions([]*Package{pkg}, NewErrDrop().Run(pkg, idx))
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (malformed marker + undropped finding): %v", len(diags), diags)
+	}
+	if diags[0].Pass != "lint" || !strings.Contains(diags[0].Message, "malformed suppression") {
+		t.Errorf("first diagnostic = %s, want a lint malformed-suppression report", diags[0])
+	}
+	if diags[1].Pass != "errdrop" {
+		t.Errorf("second diagnostic = %s, want the unsuppressed errdrop finding", diags[1])
+	}
+}
+
+// TestLoadSelf loads this package through the production loader: the
+// driver's own plumbing must typecheck real module packages.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), []string{"./internal/analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/analysis" {
+		t.Fatalf("got %v, want exactly repro/internal/analysis", pkgs)
+	}
+	if len(pkgs[0].Files) == 0 || pkgs[0].Pkg == nil {
+		t.Fatal("loaded package has no files or types")
+	}
+}
+
+// TestRepoIsClean runs every pass over the whole repository exactly as
+// the driver does: the tree must stay lint-clean, with all waivers
+// recorded as reasoned suppressions.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo load is not short")
+	}
+	pkgs, err := Load(moduleRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(pkgs)
+	var diags []Diagnostic
+	for _, pass := range Passes() {
+		for _, pkg := range pkgs {
+			if pass.Scope != nil && !pass.Scope(pkg.Path) {
+				continue
+			}
+			diags = append(diags, pass.Run(pkg, idx)...)
+		}
+	}
+	for _, d := range ApplySuppressions(pkgs, diags) {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NewCtxLeak builds the ctxleak pass: a goroutine spawned inside a
+// daemon package must be stoppable — its body (a function literal, or a
+// named same-repo function the go statement calls) must observe a
+// context.Context or a stop channel. A goroutine with neither outlives
+// Close(), and in this repo's in-process clusters that means tests leak
+// monitors and OSDs into each other.
+//
+// "Observes" is syntactic but type-checked on the context side: any use
+// of a context.Context-typed identifier counts, as does any identifier
+// or field selection whose name is one of the repo's stop-channel
+// spellings (stopCh, stop, done, quit, closing). Goroutines whose
+// target cannot be resolved (method values, function-typed fields) are
+// not flagged.
+func NewCtxLeak() *Pass {
+	p := &Pass{
+		Name: "ctxleak",
+		Doc:  "daemon goroutines must observe a context or stop channel",
+		Scope: inPackages(
+			"repro/internal/mon",
+			"repro/internal/mds",
+			"repro/internal/rados",
+			"repro/internal/paxos",
+			"repro/internal/zlog",
+		),
+	}
+	p.Run = func(pkg *Package, idx *Index) []Diagnostic {
+		var diags []Diagnostic
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, bodyPkg := goTargetBody(pkg, idx, gs)
+				if body == nil {
+					return true
+				}
+				if !observesStop(bodyPkg, body) {
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.position(gs.Pos()),
+						Pass:    p.Name,
+						Message: "goroutine observes no context or stop channel; it outlives the daemon",
+					})
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return p
+}
+
+// goTargetBody resolves the body a go statement runs: a literal's own
+// body, or the declaration of a named function in a loaded package.
+func goTargetBody(pkg *Package, idx *Index, gs *ast.GoStmt) (*ast.BlockStmt, *Package) {
+	if fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return fl.Body, pkg
+	}
+	if fn := Callee(pkg.Info, gs.Call); fn != nil {
+		if fd, ok := idx.DeclOf(fn); ok {
+			return fd.Decl.Body, fd.Pkg
+		}
+	}
+	return nil, nil
+}
+
+// stopChannelNames are the repo's spellings for a daemon's shutdown
+// signal.
+var stopChannelNames = map[string]bool{
+	"stopCh":  true,
+	"stop":    true,
+	"done":    true,
+	"quit":    true,
+	"closing": true,
+}
+
+// observesStop reports whether the body uses a context.Context value or
+// a stop-channel-named identifier/field. Nested literals count: the
+// goroutine can delegate its lifetime to an inner closure.
+func observesStop(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if stopChannelNames[x.Name] {
+				found = true
+				return false
+			}
+			if isContextType(pkg.Info.TypeOf(x)) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if stopChannelNames[x.Sel.Name] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

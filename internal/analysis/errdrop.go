@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewErrDrop builds the errdrop pass: no blank-identifier discards of
+// error values (`_ = f()`, `x, _ := g()`, `var _ = h()`) on the
+// consensus and storage write paths. An error that is genuinely
+// ignorable must say why via //lint:ignore errdrop <reason>, or be
+// handled (the repo convention for advisory calls whose error is
+// checked-and-logged elsewhere is an explicit `if err := ...` or a
+// //nolint:errcheck on a call whose result is not assigned at all —
+// this pass deliberately leaves bare expression statements alone).
+func NewErrDrop() *Pass {
+	p := &Pass{
+		Name:  "errdrop",
+		Doc:   "no _ = / x, _ := discards of error values in consensus and storage write paths",
+		Scope: inPackages(
+			"repro/internal/paxos",
+			"repro/internal/mon",
+			"repro/internal/rados",
+			"repro/internal/mds",
+			"repro/internal/wire",
+			"repro/internal/zlog",
+			"repro/internal/kvdb",
+			"repro/internal/core",
+		),
+	}
+	p.Run = func(pkg *Package, _ *Index) []Diagnostic {
+		var diags []Diagnostic
+		report := func(pos ast.Node, what string) {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.position(pos.Pos()),
+				Pass:    p.Name,
+				Message: "error result of " + what + " is discarded with _; handle it, log it, or suppress with a reason",
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					checkAssign(pkg, x, report)
+				case *ast.ValueSpec:
+					// var _ = f()
+					if len(x.Values) == len(x.Names) {
+						for i, name := range x.Names {
+							if name.Name == "_" && isErrorType(pkg.Info.TypeOf(x.Values[i])) {
+								report(x, describeExpr(x.Values[i]))
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return p
+}
+
+func checkAssign(pkg *Package, a *ast.AssignStmt, report func(ast.Node, string)) {
+	// Multi-value form: x, _ := f()
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		tup, ok := pkg.Info.TypeOf(a.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range a.Lhs {
+			if i >= tup.Len() {
+				break
+			}
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				report(a, describeExpr(a.Rhs[0]))
+			}
+		}
+		return
+	}
+	// Pairwise form: _ = f()
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			if isBlank(lhs) && isErrorType(pkg.Info.TypeOf(a.Rhs[i])) {
+				report(a, describeExpr(a.Rhs[i]))
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// describeExpr names the discarded expression for the message.
+func describeExpr(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return describeExpr(x.Fun) + "()"
+	case *ast.SelectorExpr:
+		return describeExpr(x.X) + "." + x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return describeExpr(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

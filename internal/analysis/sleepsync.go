@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SleepAllowance permits time.Sleep inside one function (or, with Func
+// empty, anywhere in a package). The allowlist is for code whose sleeps
+// ARE the semantics — simulated network latency, simulated CPU work, a
+// pacing loop — not for code waiting on another goroutine's progress.
+type SleepAllowance struct {
+	// PkgSuffix matches the import path exactly or as a "/"-anchored
+	// suffix, so the list works for both the repo and fixtures.
+	PkgSuffix string
+	// Func is the enclosing top-level function or method name; empty
+	// allows the whole package.
+	Func string
+}
+
+// RepoSleepAllowlist is the repository's simulated-latency allowlist:
+// the wire fabric (link latency), the capability experiment's pacer,
+// and the MDS's batched CPU-cost model.
+func RepoSleepAllowlist() []SleepAllowance {
+	return []SleepAllowance{
+		{PkgSuffix: "internal/wire"},
+		{PkgSuffix: "internal/workload", Func: "pay"},
+		{PkgSuffix: "internal/mds", Func: "work"},
+	}
+}
+
+// NewSleepSync builds the sleepsync pass: time.Sleep outside the
+// allowlist is flagged as synchronization-by-sleeping. The fix is a
+// context-aware wait (timer + ctx.Done select) or, where the pause is
+// genuinely cosmetic, a suppression stating so.
+func NewSleepSync(allow []SleepAllowance) *Pass {
+	p := &Pass{
+		Name: "sleepsync",
+		Doc:  "no time.Sleep as synchronization outside the simulated-latency allowlist",
+	}
+	allowed := func(pkgPath, fn string) bool {
+		for _, a := range allow {
+			if pkgPath != a.PkgSuffix && !strings.HasSuffix(pkgPath, "/"+a.PkgSuffix) {
+				continue
+			}
+			if a.Func == "" || a.Func == fn {
+				return true
+			}
+		}
+		return false
+	}
+	p.Run = func(pkg *Package, _ *Index) []Diagnostic {
+		var diags []Diagnostic
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if allowed(pkg.Path, fd.Name.Name) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := Callee(pkg.Info, call); fn != nil && fn.FullName() == "time.Sleep" {
+						diags = append(diags, Diagnostic{
+							Pos:     pkg.position(call.Pos()),
+							Pass:    p.Name,
+							Message: "time.Sleep used as synchronization; wait on a context or channel instead",
+						})
+					}
+					return true
+				})
+			}
+		}
+		return diags
+	}
+	return p
+}

@@ -1,0 +1,53 @@
+// Fixture for the ctxleak pass: spawned daemon goroutines must observe
+// a context or a stop channel.
+package ctxleak
+
+import "context"
+
+type daemon struct {
+	stopCh chan struct{}
+	events chan int
+	n      int
+}
+
+// Bad: drains events forever; nothing stops it.
+func (d *daemon) startBad() {
+	go func() { // want "goroutine observes no context or stop channel"
+		for v := range d.events {
+			d.n += v
+		}
+	}()
+}
+
+// Good: selects on the stop channel.
+func (d *daemon) startGood() {
+	go func() {
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			case v := <-d.events:
+				d.n += v
+			}
+		}
+	}()
+}
+
+// Good: observes a context.
+func (d *daemon) startCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// pump has no stop signal; spawning it is the finding.
+func (d *daemon) pump() {
+	for v := range d.events {
+		d.n += v
+	}
+}
+
+// Bad: the body is resolved through the named method.
+func (d *daemon) startNamedBad() {
+	go d.pump() // want "goroutine observes no context or stop channel"
+}

@@ -1,0 +1,61 @@
+// Fixture for the epochguard pass: handlers named handle* whose request
+// carries an Epoch field must compare it to the daemon's epoch before
+// the first shared mutation.
+package epochguard
+
+type daemon struct {
+	Epoch uint64
+	data  map[string]string
+}
+
+type Req struct {
+	Epoch uint64
+	Key   string
+	Val   string
+}
+
+// Bad: mutates shared state with no epoch comparison anywhere before it.
+func (d *daemon) handlePutBad(r Req) {
+	d.data[r.Key] = r.Val // want "handlePutBad mutates object state without first comparing the request epoch"
+}
+
+// Good: the guard precedes the write.
+func (d *daemon) handlePutGood(r Req) {
+	if r.Epoch < d.Epoch {
+		return
+	}
+	d.data[r.Key] = r.Val
+}
+
+// applyDirty is not an entry point itself (not handle*-named), but it
+// mutates unguarded, so handlers reaching it inherit the taint.
+func (d *daemon) applyDirty(r Req) {
+	d.data[r.Key] = r.Val
+}
+
+// Bad: the mutation happens one call away.
+func (d *daemon) handleForward(r Req) {
+	d.applyDirty(r) // want "handleForward mutates object state without first comparing the request epoch"
+}
+
+// updateMap guards internally (the monitor-map idiom), so callers are
+// not tainted.
+func (d *daemon) updateMap(r Req) {
+	if r.Epoch <= d.Epoch {
+		return
+	}
+	d.Epoch = r.Epoch
+	d.data[r.Key] = r.Val
+}
+
+// Good: delegates to a callee that does its own epoch check.
+func (d *daemon) handleGossip(r Req) {
+	d.updateMap(r)
+}
+
+// Good: writes only locals; a value parameter is a copy, not shared
+// state.
+func (d *daemon) handleLocal(r Req) string {
+	tmp := r.Key + "=" + r.Val
+	return tmp
+}

@@ -1,0 +1,43 @@
+// Fixture for the errdrop pass: no blank-identifier discards of error
+// values.
+package errdrop
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+// Bad: package-level blank assignment of an error.
+var _ = mayFail() // want "error result of mayFail() is discarded"
+
+// Bad: statement-level blank assignment.
+func dropAssign() {
+	_ = mayFail() // want "error result of mayFail() is discarded"
+}
+
+// Bad: error position of a tuple discarded. The int is fine to use.
+func dropTuple() int {
+	n, _ := value() // want "error result of value() is discarded"
+	return n
+}
+
+// Good: the error is inspected.
+func handled() string {
+	if err := mayFail(); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// Good: non-error blanks are none of this pass's business.
+func dropInt() {
+	_, err := value()
+	_ = err != nil
+}
+
+// Good: a suppression with a reason is honored.
+func suppressed() {
+	//lint:ignore errdrop fixture: this drop is the suppression-honored case
+	_ = mayFail()
+}

@@ -1,0 +1,12 @@
+// Fixture for suppression auditing: a marker with no reason must not
+// suppress anything and must itself be reported.
+package lintbad
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func g() {
+	//lint:ignore errdrop
+	_ = mayFail()
+}

@@ -1,0 +1,88 @@
+// Fixture for the lockblock pass: no sync mutex held across an RPC, a
+// channel operation, a blocking select, or time.Sleep.
+package lockblock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type conn struct{}
+
+func (c *conn) Call(ctx context.Context, req string) (string, error) {
+	return req, nil
+}
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	net  *conn
+	ch   chan int
+	data map[string]int
+}
+
+// Bad: RPC while holding the lock (deferred unlock runs at return).
+func (s *server) rpcUnderLock(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net.Call(ctx, "x") // want "s.mu held across"
+}
+
+// Bad: sleeping while holding the lock.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "s.mu held across time.Sleep"
+	s.mu.Unlock()
+}
+
+// Bad: channel send while holding a read lock.
+func (s *server) sendUnderLock() {
+	s.rw.RLock()
+	s.ch <- 1 // want "s.rw held across channel send"
+	s.rw.RUnlock()
+}
+
+// waitOne blocks on a receive, so callers holding a lock inherit that.
+func (s *server) waitOne() int {
+	return <-s.ch
+}
+
+// Bad: the blocking operation is one call away.
+func (s *server) transitive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waitOne() // want "which blocks on"
+}
+
+// Good: the lock is released before the RPC.
+func (s *server) unlockFirst(ctx context.Context) {
+	s.mu.Lock()
+	s.data["k"]++
+	s.mu.Unlock()
+	s.net.Call(ctx, "x")
+}
+
+// Good: the early-unlock branch does not poison the fall-through path,
+// and the fall-through path never blocks.
+func (s *server) branchy(ctx context.Context, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		s.net.Call(ctx, "fast")
+		return
+	}
+	s.data["k"]++
+	s.mu.Unlock()
+}
+
+// Good: a spawned goroutine runs on its own stack and does not hold the
+// spawner's lock.
+func (s *server) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-s.ch
+	}()
+	s.data["k"]++
+}

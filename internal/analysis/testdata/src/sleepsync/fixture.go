@@ -1,0 +1,38 @@
+// Fixture for the sleepsync pass: time.Sleep outside the allowlist is
+// synchronization-by-sleeping. The test allowlists simulatedLatency.
+package sleepsync
+
+import "time"
+
+// Bad: polling another goroutine's progress.
+func pollLoop(ready *bool) {
+	for !*ready {
+		time.Sleep(time.Millisecond) // want "time.Sleep used as synchronization"
+	}
+}
+
+// Bad: sleeps inside closures attribute to the enclosing declaration,
+// which is not allowlisted.
+func spawnPoller() {
+	go func() {
+		time.Sleep(time.Millisecond) // want "time.Sleep used as synchronization"
+	}()
+}
+
+// Good: allowlisted by the test's allowance list; the sleep IS the
+// simulated behavior.
+func simulatedLatency() {
+	time.Sleep(5 * time.Millisecond)
+}
+
+// Good: waiting on a timer channel is not a sleep.
+func timerWait(stop chan struct{}) bool {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

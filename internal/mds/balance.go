@@ -108,7 +108,11 @@ func (s *Server) balanceTick() {
 	loads := make(map[int]float64)
 	for _, r := range fresh.UpRanks() {
 		if v, ok := fresh.Service[loadKey(r)]; ok {
-			f, _ := strconv.ParseFloat(v, 64)
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				s.monc.Log(ctx, "warn", fmt.Sprintf("mds.%d balancer: bad published load %q for rank %d, treating as 0", s.cfg.Rank, v, r)) //nolint:errcheck
+				f = 0
+			}
 			loads[r] = f
 		} else {
 			loads[r] = 0

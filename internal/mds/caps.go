@@ -112,14 +112,16 @@ func (s *Server) sendRecallLocked(ino *inode) {
 	}
 	time.AfterFunc(timeout, func() {
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		cur, ok := s.inodes[path]
 		if !ok || cur.grantSeq != seq || cur.holder != holder {
+			s.mu.Unlock()
 			return // the grant was already released
 		}
 		// Force-reclaim from the unresponsive client; local increments it
 		// made since the grant are lost (ZLog recovers via seal).
-		s.releaseLocked(cur, holder, cur.Value)
+		_, g := s.releaseLocked(cur, holder, cur.Value)
+		s.mu.Unlock()
+		g.deliver()
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 			defer cancel()
@@ -137,31 +139,48 @@ func (s *Server) handleRelease(r ReleaseReq) ReleaseResp {
 		s.mu.Unlock()
 		return ReleaseResp{Status: StNotFound}
 	}
-	rec := s.releaseLocked(ino, r.Client, r.Value)
+	rec, g := s.releaseLocked(ino, r.Client, r.Value)
 	s.mu.Unlock()
+	g.deliver()
 	if rec != nil {
 		s.journal(*rec)
 	}
 	return ReleaseResp{Status: StOK}
 }
 
+// grantMsg is a pending capability grant: the next waiter's channel and
+// the response to put on it. Grants are delivered after s.mu is
+// released, so no waiter ever wakes while the server holds the lock.
+type grantMsg struct {
+	ch   chan AcquireResp
+	resp AcquireResp
+}
+
+// deliver completes the grant; nil-safe for the no-grant case. Waiter
+// channels are buffered (capacity 1), so this never blocks.
+func (g *grantMsg) deliver() {
+	if g != nil {
+		g.ch <- g.resp
+	}
+}
+
 // releaseLocked returns the cap, folds the holder's final value into the
-// inode, and grants the next waiter. It returns a journal record to be
-// written outside the lock (nil when the release was a no-op).
-func (s *Server) releaseLocked(ino *inode, client wire.Addr, value uint64) *journalEntry {
+// inode, and dequeues the next waiter. It returns a journal record and
+// a grant, both to be handled outside the lock (nil when not needed).
+func (s *Server) releaseLocked(ino *inode, client wire.Addr, value uint64) (*journalEntry, *grantMsg) {
 	if ino.holder != client {
-		return nil // stale release (e.g. after force-reclaim)
+		return nil, nil // stale release (e.g. after force-reclaim)
 	}
 	if value > ino.Value {
 		ino.Value = value
 	}
 	ino.holder = ""
 	ino.recallSent = false
+	var g *grantMsg
 	if len(ino.waiters) > 0 {
 		next := ino.waiters[0]
 		ino.waiters = ino.waiters[1:]
-		resp := s.grantLocked(ino, next.client)
-		next.ch <- resp
+		g = &grantMsg{ch: next.ch, resp: s.grantLocked(ino, next.client)}
 	}
-	return &journalEntry{Op: "value", Path: ino.Path, Value: ino.Value}
+	return &journalEntry{Op: "value", Path: ino.Path, Value: ino.Value}, g
 }

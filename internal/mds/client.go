@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -187,6 +188,7 @@ func (c *Client) releaseCap(path string) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
+	//lint:ignore errdrop release is best effort: an unreachable MDS reclaims the cap by lease timeout anyway
 	_, _ = c.net.Call(ctx, c.self, MDSAddr(rank), ReleaseReq{Path: path, Client: c.self, Value: value})
 }
 
@@ -209,10 +211,33 @@ func (c *Client) rankForLocked(path string) int {
 	return 0
 }
 
+// retryBackoff waits before retry number attempt (0-based): base
+// doubled per attempt, capped at max, with jitter in [d/2, d] so
+// clients that failed together do not retry together. Returns false
+// when ctx expired instead of the timer firing.
+func retryBackoff(ctx context.Context, attempt int, base, max time.Duration) bool {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // call routes a request for path, following redirects and failing over
 // to surviving ranks.
 func (c *Client) call(ctx context.Context, path string, mk func() any) (any, error) {
-	redirects, failures := 0, 0
+	redirects, failures, busy := 0, 0, 0
 	for redirects < 8 && failures < 8 {
 		c.mu.Lock()
 		rank := c.rankForLocked(path)
@@ -233,10 +258,9 @@ func (c *Client) call(ctx context.Context, path string, mk func() any) (any, err
 				}
 				c.mu.Unlock()
 			}
-			if ctx.Err() != nil {
+			if !retryBackoff(ctx, failures-1, 10*time.Millisecond, 160*time.Millisecond) {
 				return nil, ctx.Err()
 			}
-			time.Sleep(20 * time.Millisecond)
 			continue
 		}
 		redirect, again := redirectOf(resp)
@@ -249,11 +273,11 @@ func (c *Client) call(ctx context.Context, path string, mk func() any) (any, err
 		}
 		if again {
 			// Transient busy (e.g. an outstanding capability being
-			// chased): wait and retry until the context gives up.
-			if ctx.Err() != nil {
+			// chased): back off and retry until the context gives up.
+			if !retryBackoff(ctx, busy, 5*time.Millisecond, 80*time.Millisecond) {
 				return nil, ctx.Err()
 			}
-			time.Sleep(10 * time.Millisecond)
+			busy++
 			continue
 		}
 		return resp, nil

@@ -172,6 +172,7 @@ func (s *Server) work(d time.Duration) {
 	s.cpuDebt += d
 	if s.cpuDebt >= time.Millisecond {
 		t0 := time.Now()
+		//lint:ignore lockblock cpuMu IS the simulated single CPU: serializing the sleep is the model, and cpuMu guards nothing else
 		time.Sleep(s.cpuDebt)
 		s.cpuDebt -= time.Since(t0)
 	}
@@ -257,9 +258,8 @@ func (s *Server) handleOpen(r OpenReq) OpenResp {
 		s.mu.Unlock()
 		return OpenResp{Status: StRedirect, Redirect: tgt}
 	}
-	ino, ok := s.inodes[r.Path]
-	if !ok {
-		ino = &inode{Inode: Inode{Path: r.Path, Type: r.Type}}
+	if _, ok := s.inodes[r.Path]; !ok {
+		ino := &inode{Inode: Inode{Path: r.Path, Type: r.Type}}
 		if ino.Type == "" {
 			ino.Type = TypeFile
 		}
@@ -273,7 +273,6 @@ func (s *Server) handleOpen(r OpenReq) OpenResp {
 		return OpenResp{Status: StOK}
 	}
 	s.mu.Unlock()
-	_ = ino
 	return OpenResp{Status: StOK}
 }
 
@@ -367,8 +366,9 @@ func (s *Server) currentValue(ino *inode) (uint64, bool) {
 	case resp := <-ch:
 		s.mu.Lock()
 		v := resp.Value
-		s.releaseLocked(ino, s.Addr(), v)
+		_, g := s.releaseLocked(ino, s.Addr(), v)
 		s.mu.Unlock()
+		g.deliver()
 		return v, true
 	case <-time.After(s.cfg.RecallTimeout * 2):
 		return 0, false
@@ -387,6 +387,7 @@ func (s *Server) coherence(ctx context.Context, ino *inode) {
 	}
 	cctx, cancel := context.WithTimeout(ctx, time.Second)
 	defer cancel()
+	//lint:ignore errdrop the coherence round-trip exists to burn simulated time; a lost one only undercounts the tax
 	_, _ = s.net.Call(cctx, s.Addr(), MDSAddr(origin), CoherenceMsg{Path: ino.Path})
 }
 
@@ -406,8 +407,9 @@ func (s *Server) advance(ino *inode) (uint64, bool) {
 			// release immediately.
 			ino.Value = resp.Value + 1
 			v := ino.Value
-			s.releaseLocked(ino, s.Addr(), v)
+			_, g := s.releaseLocked(ino, s.Addr(), v)
 			s.mu.Unlock()
+			g.deliver()
 			return v, true
 		case <-time.After(s.cfg.RecallTimeout * 2):
 			return 0, false

@@ -108,6 +108,7 @@ func (c *Client) Subscribe(ctx context.Context, addr wire.Addr, kinds ...string)
 // effort: a missed beacon is indistinguishable from a slow network.
 func (c *Client) Beacon(ctx context.Context, kind string, id int) {
 	for _, m := range c.mons {
+		//lint:ignore errdrop beacons are fire-and-forget liveness hints; the monitor's timeout, not this call, decides up/down
 		_, _ = c.net.Call(ctx, c.self, Addr(m), BeaconReq{Kind: kind, ID: id})
 	}
 }

@@ -539,11 +539,19 @@ func (m *Monitor) pushMap(kind string, n MapNotify, subs []subscription, fanout 
 func (m *Monitor) applyOp(source string, op types.Op) (osd, mds bool) {
 	switch op.Code {
 	case types.OpOSDBoot:
-		id, _ := strconv.Atoi(op.Key)
+		id, err := strconv.Atoi(op.Key)
+		if err != nil {
+			m.appendLogLocked("error", source, fmt.Sprintf("osd boot with bad id %q ignored: %v", op.Key, err))
+			return false, false
+		}
 		m.osdMap.OSDs[id] = types.OSDInfo{ID: id, Addr: op.Value, State: types.StateUp}
 		return true, false
 	case types.OpOSDDown:
-		id, _ := strconv.Atoi(op.Key)
+		id, err := strconv.Atoi(op.Key)
+		if err != nil {
+			m.appendLogLocked("error", source, fmt.Sprintf("osd down with bad id %q ignored: %v", op.Key, err))
+			return false, false
+		}
 		if info, ok := m.osdMap.OSDs[id]; ok {
 			info.State = types.StateDown
 			m.osdMap.OSDs[id] = info
@@ -551,11 +559,19 @@ func (m *Monitor) applyOp(source string, op types.Op) (osd, mds bool) {
 		}
 		return true, false
 	case types.OpMDSBoot:
-		rank, _ := strconv.Atoi(op.Key)
+		rank, err := strconv.Atoi(op.Key)
+		if err != nil {
+			m.appendLogLocked("error", source, fmt.Sprintf("mds boot with bad rank %q ignored: %v", op.Key, err))
+			return false, false
+		}
 		m.mdsMap.Ranks[rank] = types.MDSInfo{Rank: rank, Addr: op.Value, State: types.StateUp}
 		return false, true
 	case types.OpMDSDown:
-		rank, _ := strconv.Atoi(op.Key)
+		rank, err := strconv.Atoi(op.Key)
+		if err != nil {
+			m.appendLogLocked("error", source, fmt.Sprintf("mds down with bad rank %q ignored: %v", op.Key, err))
+			return false, false
+		}
 		if info, ok := m.mdsMap.Ranks[rank]; ok {
 			info.State = types.StateDown
 			m.mdsMap.Ranks[rank] = info
@@ -563,8 +579,14 @@ func (m *Monitor) applyOp(source string, op types.Op) (osd, mds bool) {
 		}
 		return false, true
 	case types.OpPoolCreate:
-		pg, _ := strconv.Atoi(op.Value)
-		reps, _ := strconv.Atoi(op.Aux)
+		pg, err := strconv.Atoi(op.Value)
+		if err != nil && op.Value != "" {
+			m.appendLogLocked("warn", source, fmt.Sprintf("pool %q create: bad pg_num %q, using default", op.Key, op.Value))
+		}
+		reps, err := strconv.Atoi(op.Aux)
+		if err != nil && op.Aux != "" {
+			m.appendLogLocked("warn", source, fmt.Sprintf("pool %q create: bad replicas %q, using default", op.Key, op.Aux))
+		}
 		if pg <= 0 {
 			pg = 8
 		}
@@ -579,7 +601,11 @@ func (m *Monitor) applyOp(source string, op types.Op) (osd, mds bool) {
 			m.appendLogLocked("error", source, fmt.Sprintf("resize of unknown pool %q ignored", op.Key))
 			return false, false
 		}
-		pg, _ := strconv.Atoi(op.Value)
+		pg, err := strconv.Atoi(op.Value)
+		if err != nil {
+			m.appendLogLocked("error", source, fmt.Sprintf("pool %q resize with bad pg_num %q ignored: %v", op.Key, op.Value, err))
+			return false, false
+		}
 		if pg <= pi.PGNum {
 			m.appendLogLocked("error", source, fmt.Sprintf("pool %q resize to %d <= current %d ignored", op.Key, pg, pi.PGNum))
 			return false, false

@@ -224,7 +224,8 @@ func (n *Node) run() {
 		timeout := n.cfg.ElectionTimeout + time.Duration(rank)*n.cfg.ElectionTimeout/2
 		if silent > timeout {
 			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
-			_ = n.BecomeLeader(ctx) // a failed election just retries later
+			//lint:ignore errdrop a failed election is normal contention; the next silent period retries it
+			_ = n.BecomeLeader(ctx)
 			cancel()
 			n.mu.Lock()
 			n.lastLeader = time.Now()
@@ -256,6 +257,7 @@ func (n *Node) sendHeartbeats() {
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatInterval*2)
 			defer cancel()
+			//lint:ignore errdrop heartbeats are liveness hints; a follower that misses them calls its own election
 			_, _ = n.t.Call(ctx, p, msg)
 		}()
 	}
@@ -401,6 +403,7 @@ func (n *Node) commitSlot(ctx context.Context, slot uint64, value []byte) error 
 		go func() {
 			lctx, cancel := context.WithTimeout(context.Background(), time.Second)
 			defer cancel()
+			//lint:ignore errdrop learn pushes are an optimization; a peer that misses one catches up from the chosen frontier in the next heartbeat
 			_, _ = n.t.Call(lctx, p, learn)
 		}()
 	}

@@ -37,7 +37,10 @@ func clsLog() *NativeClass {
 		Methods: map[string]NativeMethod{
 			// append stores the input at the next sequence number.
 			"append": func(ctx *ClassCtx) ([]byte, ResultCode) {
-				seq := omapCounter(ctx.Obj, "log.seq")
+				seq, err := omapCounter(ctx.Obj, "log.seq")
+				if err != nil {
+					return []byte("corrupt log.seq counter: " + err.Error()), EIO
+				}
 				key := fmt.Sprintf("log.%020d", seq)
 				ctx.Obj.Omap[key] = append([]byte(nil), ctx.Input...)
 				setOmapCounter(ctx.Obj, "log.seq", seq+1)
@@ -61,12 +64,19 @@ func clsLog() *NativeClass {
 				if n < len(entries) {
 					entries = entries[len(entries)-n:]
 				}
-				out, _ := json.Marshal(entries)
+				out, err := json.Marshal(entries)
+				if err != nil {
+					return []byte("encode failed: " + err.Error()), EIO
+				}
 				return out, OK
 			},
 			// count returns the number of appended entries.
 			"count": func(ctx *ClassCtx) ([]byte, ResultCode) {
-				return []byte(strconv.FormatUint(omapCounter(ctx.Obj, "log.seq"), 10)), OK
+				seq, err := omapCounter(ctx.Obj, "log.seq")
+				if err != nil {
+					return []byte("corrupt log.seq counter: " + err.Error()), EIO
+				}
+				return []byte(strconv.FormatUint(seq, 10)), OK
 			},
 		},
 	}
@@ -115,7 +125,10 @@ func clsSnapMeta() *NativeClass {
 				for _, k := range ctx.Obj.OmapKeysSorted("snap.") {
 					names = append(names, strings.TrimPrefix(k, "snap."))
 				}
-				out, _ := json.Marshal(names)
+				out, err := json.Marshal(names)
+				if err != nil {
+					return []byte("encode failed: " + err.Error()), EIO
+				}
 				return out, OK
 			},
 		},
@@ -148,7 +161,10 @@ func clsFsck() *NativeClass {
 					h.Write(ctx.Obj.Data[off:end]) //nolint:errcheck
 					exts = append(exts, ext{Off: off, Len: end - off, Sum: h.Sum64()})
 				}
-				out, _ := json.Marshal(exts)
+				out, err := json.Marshal(exts)
+				if err != nil {
+					return []byte("encode failed: " + err.Error()), EIO
+				}
 				return out, OK
 			},
 		},
@@ -241,12 +257,18 @@ func clsRefcount() *NativeClass {
 		Category: "other",
 		Methods: map[string]NativeMethod{
 			"get": func(ctx *ClassCtx) ([]byte, ResultCode) {
-				n := omapCounter(ctx.Obj, "refs")
+				n, err := omapCounter(ctx.Obj, "refs")
+				if err != nil {
+					return []byte("corrupt refs counter: " + err.Error()), EIO
+				}
 				setOmapCounter(ctx.Obj, "refs", n+1)
 				return []byte(strconv.FormatUint(n+1, 10)), OK
 			},
 			"put": func(ctx *ClassCtx) ([]byte, ResultCode) {
-				n := omapCounter(ctx.Obj, "refs")
+				n, err := omapCounter(ctx.Obj, "refs")
+				if err != nil {
+					return []byte("corrupt refs counter: " + err.Error()), EIO
+				}
 				if n == 0 {
 					return []byte("refcount underflow"), EINVAL
 				}
@@ -258,7 +280,11 @@ func clsRefcount() *NativeClass {
 				return []byte(strconv.FormatUint(n-1, 10)), OK
 			},
 			"count": func(ctx *ClassCtx) ([]byte, ResultCode) {
-				return []byte(strconv.FormatUint(omapCounter(ctx.Obj, "refs"), 10)), OK
+				n, err := omapCounter(ctx.Obj, "refs")
+				if err != nil {
+					return []byte("corrupt refs counter: " + err.Error()), EIO
+				}
+				return []byte(strconv.FormatUint(n, 10)), OK
 			},
 		},
 	}
@@ -317,13 +343,12 @@ func clsNumOps() *NativeClass {
 	}
 }
 
-func omapCounter(o *Object, key string) uint64 {
+func omapCounter(o *Object, key string) (uint64, error) {
 	v, ok := o.Omap[key]
 	if !ok {
-		return 0
+		return 0, nil
 	}
-	n, _ := strconv.ParseUint(string(v), 10, 64)
-	return n
+	return strconv.ParseUint(string(v), 10, 64)
 }
 
 func setOmapCounter(o *Object, key string, n uint64) {

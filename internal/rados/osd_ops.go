@@ -68,12 +68,14 @@ func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
 		fwd.Epoch = m.Epoch
 		for _, peer := range acting[1:] {
 			rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			//lint:ignore lockblock the PG lock is held through replication BY DESIGN: replicas must observe ops in primary order, and replicas never call back into this PG
 			_, err := o.net.Call(rctx, o.Addr(), OSDAddr(peer), fwd)
 			cancel()
 			if err != nil {
 				// The replica is unreachable; durability is degraded until
 				// the beacon timeout marks it down and backfill repairs.
 				lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
+				//lint:ignore lockblock same primary-order replication window as the replica forward above
 				o.monc.Log(lctx, "warn", "replica write to "+string(OSDAddr(peer))+" failed: "+err.Error()) //nolint:errcheck
 				lcancel()
 			}

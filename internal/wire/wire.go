@@ -249,6 +249,7 @@ func (n *Network) Send(from, to Addr, req any) {
 		if d > 0 {
 			time.Sleep(d)
 		}
+		//lint:ignore errdrop Send is the one-way datagram primitive; discarding the result IS its contract
 		_, _ = h(context.Background(), from, req)
 	}()
 }

@@ -234,7 +234,9 @@ func RunBalanceExperiment(ctx context.Context, cfg BalanceConfig) (*BalanceResul
 					if err := cluster.MDSs[0].Export(ectx, seqPath(i), target, *cfg.ManualMode); err == nil {
 						break
 					}
-					time.Sleep(10 * time.Millisecond)
+					if !waitRetry(ectx, 10*time.Millisecond) {
+						break
+					}
 				}
 				cancel()
 			}
@@ -350,4 +352,17 @@ mode = "client"
 		out = append(out, BackoffPoint{Label: tc.label, SteadyRate: res.SteadyRate, TotalOps: res.TotalOps})
 	}
 	return out, nil
+}
+
+// waitRetry pauses d before the next retry, or returns false as soon as
+// ctx is done.
+func waitRetry(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
