@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench ci
+.PHONY: build test race vet lint bench bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -23,4 +23,15 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-ci: build vet lint race
+# One iteration of every benchmark so they cannot rot; part of ci.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Record the serial-vs-batched append comparison (PR 2's acceptance
+# numbers) in BENCH_pr2.json.
+bench-json:
+	$(GO) test -run=^$$ -bench='^BenchmarkZLogAppend(Serial|Batch)$$' -benchtime=1s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_pr2.json
+	@cat BENCH_pr2.json
+
+ci: build vet lint race bench-smoke

@@ -342,6 +342,61 @@ func BenchmarkFig12ZLogAppend(b *testing.B) {
 	}
 }
 
+// benchZLogLatency boots the default simulated-latency cluster the
+// serial-vs-batched append comparison (and BENCH_pr2.json) runs on.
+func benchZLogLatency(b *testing.B) *zlog.Log {
+	b.Helper()
+	cluster := bootB(b, core.Options{
+		MDSs: 1, OSDs: 3, Pools: []string{"zlog"}, Replicas: 2,
+		NetLatency: 200 * time.Microsecond,
+	})
+	ctx := context.Background()
+	l, err := zlog.Open(ctx, cluster.Net, "client.bench", cluster.MonIDs(), zlog.Options{
+		Name: "bench", Pool: "zlog",
+		SeqPolicy: mds.CapPolicy{Cacheable: true, Quota: 1000, Delay: time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(l.Close)
+	return l
+}
+
+// BenchmarkZLogAppendSerial is the per-entry baseline the batched path
+// is measured against: one sequencer access plus one object write per
+// entry, fully serial.
+func BenchmarkZLogAppendSerial(b *testing.B) {
+	l := benchZLogLatency(b)
+	ctx := context.Background()
+	payload := []byte("benchmark-entry-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZLogAppendBatch drives AppendBatch at batch size 64 on the
+// same cluster; ns/op is per entry, so the ratio against
+// BenchmarkZLogAppendSerial is the batched path's speedup (the ISSUE's
+// >= 5x acceptance bar, recorded in BENCH_pr2.json by `make bench-json`).
+func BenchmarkZLogAppendBatch(b *testing.B) {
+	l := benchZLogLatency(b)
+	ctx := context.Background()
+	const batch = 64
+	entries := make([][]byte, batch)
+	for i := range entries {
+		entries[i] = []byte("benchmark-entry-payload")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		if _, err := l.AppendBatch(ctx, entries[:min(batch, b.N-i)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkZLogRead measures log reads (which never touch the
 // sequencer).
 func BenchmarkZLogRead(b *testing.B) {

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON summary. It exists so benchmark numbers land in
+// version control (BENCH_pr2.json) instead of scrollback: `make
+// bench-json` pipes the serial-vs-batched append benchmarks through it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name      string  `json:"name"`
+	Iters     int64   `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// Summary is the emitted document. SpeedupBatchOverSerial is filled
+// when both ZLogAppendSerial and ZLogAppendBatch are present — the
+// ratio the PR's acceptance criterion (>= 5x at batch 64) reads.
+type Summary struct {
+	Benchmarks             []Result `json:"benchmarks"`
+	SpeedupBatchOverSerial float64  `json:"speedup_batch_over_serial,omitempty"`
+}
+
+// benchLine matches e.g. "BenchmarkZLogAppendBatch-8   12315   96857 ns/op".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Parse extracts benchmark results from `go test -bench` output.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count %q: %w", m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op %q: %w", m[3], err)
+		}
+		res := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		if ns > 0 {
+			res.OpsPerSec = 1e9 / ns
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summarize derives the cross-benchmark metrics from parsed results.
+func Summarize(results []Result) Summary {
+	s := Summary{Benchmarks: results}
+	var serial, batch float64
+	for _, r := range results {
+		switch r.Name {
+		case "ZLogAppendSerial":
+			serial = r.NsPerOp
+		case "ZLogAppendBatch":
+			batch = r.NsPerOp
+		}
+	}
+	if serial > 0 && batch > 0 {
+		s.SpeedupBatchOverSerial = serial / batch
+	}
+	return s
+}
+
+func run(in io.Reader, outPath string) error {
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	buf, err := json.MarshalIndent(Summarize(results), "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+func main() {
+	out := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkZLogAppendSerial 	     259	   4606603 ns/op
+BenchmarkZLogAppendBatch-8  	   12315	     96857 ns/op
+PASS
+ok  	repro	4.267s
+`
+
+func TestParseAndSummarize(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	if results[0].Name != "ZLogAppendSerial" || results[0].Iters != 259 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	if results[1].Name != "ZLogAppendBatch" || results[1].NsPerOp != 96857 {
+		t.Fatalf("second result = %+v (suffix -8 must be stripped)", results[1])
+	}
+	wantOps := 1e9 / 96857.0
+	if math.Abs(results[1].OpsPerSec-wantOps) > 1e-6 {
+		t.Fatalf("ops/sec = %f, want %f", results[1].OpsPerSec, wantOps)
+	}
+
+	s := Summarize(results)
+	wantSpeedup := 4606603.0 / 96857.0
+	if math.Abs(s.SpeedupBatchOverSerial-wantSpeedup) > 1e-9 {
+		t.Fatalf("speedup = %f, want %f", s.SpeedupBatchOverSerial, wantSpeedup)
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	results, err := Parse(strings.NewReader("no benchmarks here\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from garbage, want 0", len(results))
+	}
+	if s := Summarize(nil); s.SpeedupBatchOverSerial != 0 {
+		t.Fatalf("speedup without both benchmarks = %f, want 0", s.SpeedupBatchOverSerial)
+	}
+}

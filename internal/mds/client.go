@@ -19,6 +19,7 @@ var (
 	ErrNotFound = errors.New("mds: no such inode")
 	ErrUnavail  = errors.New("mds: service unavailable")
 	ErrBadRoute = errors.New("mds: routing loop")
+	ErrBadRange = errors.New("mds: range size must be positive")
 )
 
 // capState is a held capability: the client's exclusive cached copy of
@@ -306,6 +307,13 @@ func redirectOf(resp any) (redirect int, again bool) {
 		if r.Status == StAgain {
 			return -1, true
 		}
+	case NextNResp:
+		if r.Status == StRedirect {
+			return r.Redirect, false
+		}
+		if r.Status == StAgain {
+			return -1, true
+		}
 	case AcquireResp:
 		if r.Status == StRedirect {
 			return r.Redirect, false
@@ -519,6 +527,151 @@ func (c *Client) remoteNext(ctx context.Context, path string) (uint64, error) {
 	c.remoteOps++
 	c.mu.Unlock()
 	return r.Value, nil
+}
+
+// NextN returns the first value of a contiguous sequencer range
+// [first, first+n) for path, never splitting the range. A held cached
+// capability serves the range locally when its remaining quota covers
+// all n values; otherwise the cap is yielded and the range comes from
+// a fresh grant or a single NextN round-trip — one message for n
+// values, the amortization behind the batched append path.
+func (c *Client) NextN(ctx context.Context, path string, n int) (uint64, error) {
+	if n <= 0 {
+		return 0, ErrBadRange
+	}
+	if first, done := c.localNextN(path, n); done {
+		return first, nil
+	}
+	c.mu.Lock()
+	rt := c.roundtrip[path]
+	c.mu.Unlock()
+	if !rt {
+		first, retry, err := c.acquireAndNextN(ctx, path, n)
+		if err == nil {
+			return first, nil
+		}
+		if !retry {
+			return 0, err
+		}
+		// Policy denies caching (or the grant quota cannot cover a whole
+		// range): fall through to the round-trip range allocation.
+	}
+	return c.remoteNextN(ctx, path, n)
+}
+
+// localNextN serves a whole range from the held cap; done=false when no
+// cap is held or the remaining quota cannot cover n contiguous values
+// (the cap is released so the authority can serve the range instead).
+func (c *Client) localNextN(path string, n int) (uint64, bool) {
+	c.mu.Lock()
+	cs, ok := c.caps[path]
+	if !ok {
+		c.mu.Unlock()
+		return 0, false
+	}
+	now := time.Now()
+	if cs.expired(now) || (cs.revoked && cs.quota == 0 && cs.deadline.IsZero()) {
+		c.mu.Unlock()
+		c.releaseCap(path)
+		return 0, false
+	}
+	if cs.quota > 0 && cs.quota-cs.used < n {
+		// Ranges are never split across a quota boundary; return the
+		// remainder to the authority and allocate there.
+		c.mu.Unlock()
+		c.releaseCap(path)
+		return 0, false
+	}
+	first := cs.value + 1
+	cs.value += uint64(n)
+	cs.used += n
+	c.localOps += int64(n)
+	mustRelease := cs.expired(now)
+	c.mu.Unlock()
+	if mustRelease {
+		c.releaseCap(path)
+	}
+	return first, true
+}
+
+// acquireAndNextN obtains the capability and serves the first range
+// from it. retry=true means the caller should fall back to round-trip
+// range allocation (policy denies caching, or the grant's quota is too
+// small to ever hold a range of n).
+func (c *Client) acquireAndNextN(ctx context.Context, path string, n int) (first uint64, retry bool, err error) {
+	resp, err := c.call(ctx, path, func() any { return AcquireReq{Path: path, Client: c.self} })
+	if err != nil {
+		return 0, false, err
+	}
+	r := resp.(AcquireResp)
+	switch r.Status {
+	case StDenied:
+		c.mu.Lock()
+		c.roundtrip[path] = true
+		c.mu.Unlock()
+		return 0, true, fmt.Errorf("mds: caps denied on %s", path)
+	case StNotFound:
+		return 0, false, ErrNotFound
+	case StOK:
+	default:
+		return 0, false, fmt.Errorf("mds: acquire %s: %s", path, r.Status)
+	}
+	if r.Quota > 0 && r.Quota < n {
+		// The quota can never cover a contiguous range of n; hand the cap
+		// straight back and let the authority allocate server-side.
+		c.mu.Lock()
+		rank := c.rankForLocked(path)
+		c.mu.Unlock()
+		ctx2, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		//lint:ignore errdrop release is best effort: an unreachable MDS reclaims the cap by lease timeout anyway
+		_, _ = c.net.Call(ctx2, c.self, MDSAddr(rank), ReleaseReq{Path: path, Client: c.self, Value: r.Value})
+		cancel()
+		return 0, true, fmt.Errorf("mds: quota %d below range %d on %s", r.Quota, n, path)
+	}
+	cs := &capState{value: r.Value, quota: r.Quota}
+	if r.Lease > 0 {
+		cs.deadline = time.Now().Add(r.Lease)
+		time.AfterFunc(r.Lease+time.Millisecond, func() { c.releaseIfExpired(path) })
+	}
+	c.mu.Lock()
+	c.caps[path] = cs
+	if c.earlyRecall[path] {
+		delete(c.earlyRecall, path)
+		cs.revoked = true
+	}
+	first = cs.value + 1
+	cs.value += uint64(n)
+	cs.used += n
+	c.localOps += int64(n)
+	mustRelease := cs.expired(time.Now()) ||
+		(cs.revoked && cs.quota == 0 && cs.deadline.IsZero())
+	c.mu.Unlock()
+	if mustRelease {
+		c.releaseCap(path)
+	}
+	return first, false, nil
+}
+
+// remoteNextN is the round-trip range path: one message buys n values.
+func (c *Client) remoteNextN(ctx context.Context, path string, n int) (uint64, error) {
+	resp, err := c.call(ctx, path, func() any { return NextNReq{Path: path, N: n} })
+	if err != nil {
+		return 0, err
+	}
+	r := resp.(NextNResp)
+	switch r.Status {
+	case StNotFound:
+		return 0, ErrNotFound
+	case StInval:
+		return 0, ErrBadRange
+	case StOK:
+	default:
+		return 0, fmt.Errorf("mds: nextn %s: %s", path, r.Status)
+	}
+	c.mu.Lock()
+	c.remoteOps++
+	c.mu.Unlock()
+	return r.First, nil
 }
 
 // List enumerates inodes whose path starts with prefix, merged across

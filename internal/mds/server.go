@@ -221,6 +221,8 @@ func (s *Server) handle(ctx context.Context, from wire.Addr, req any) (any, erro
 		return s.handleOpen(r), nil
 	case NextReq:
 		return s.handleNext(ctx, r), nil
+	case NextNReq:
+		return s.handleNextN(ctx, r), nil
 	case ReadReq:
 		return s.handleRead(ctx, r), nil
 	case AcquireReq:
@@ -326,6 +328,43 @@ func (s *Server) handleNext(ctx context.Context, r NextReq) NextResp {
 	return NextResp{Status: StOK, Value: v}
 }
 
+// handleNextN allocates a contiguous range of r.N sequencer values in
+// one request. One range grant pays the same handle/service cost as one
+// Next — that amortization is the whole point of the batched path.
+func (s *Server) handleNextN(ctx context.Context, r NextNReq) NextNResp {
+	s.countOp()
+	if r.N <= 0 {
+		return NextNResp{Status: StInval}
+	}
+	ino, fwd, redir := s.resolve(r.Path)
+	switch {
+	case redir >= 0:
+		return NextNResp{Status: StRedirect, Redirect: redir}
+	case fwd >= 0 && !r.Proxied:
+		s.work(s.cfg.HandleTime)
+		resp, err := s.net.Call(ctx, s.Addr(), MDSAddr(fwd), NextNReq{Path: r.Path, N: r.N, Proxied: true})
+		if err != nil {
+			return NextNResp{Status: StAgain}
+		}
+		return resp.(NextNResp)
+	case ino == nil:
+		return NextNResp{Status: StNotFound}
+	}
+
+	if r.Proxied {
+		s.work(s.cfg.ServiceTime)
+	} else {
+		s.work(s.cfg.HandleTime + s.cfg.ServiceTime)
+	}
+	s.coherence(ctx, ino)
+
+	first, ok := s.advanceN(ino, uint64(r.N))
+	if !ok {
+		return NextNResp{Status: StAgain}
+	}
+	return NextNResp{Status: StOK, First: first, N: r.N}
+}
+
 func (s *Server) handleRead(ctx context.Context, r ReadReq) ReadResp {
 	s.countOp()
 	ino, fwd, redir := s.resolve(r.Path)
@@ -394,6 +433,13 @@ func (s *Server) coherence(ctx context.Context, ino *inode) {
 // advance increments the sequencer value server-side, first reclaiming
 // any outstanding cached capability.
 func (s *Server) advance(ino *inode) (uint64, bool) {
+	return s.advanceN(ino, 1)
+}
+
+// advanceN advances the sequencer by n server-side and returns the
+// first value of the contiguous range [first, first+n), reclaiming any
+// outstanding cached capability first so ranges never overlap grants.
+func (s *Server) advanceN(ino *inode, n uint64) (uint64, bool) {
 	s.mu.Lock()
 	if ino.holder != "" {
 		// A client holds the cap; recall it and wait via the waiter
@@ -403,32 +449,32 @@ func (s *Server) advance(ino *inode) (uint64, bool) {
 		select {
 		case resp := <-ch:
 			s.mu.Lock()
-			// We now "hold" the cap as the server; consume one value and
+			// We now "hold" the cap as the server; consume n values and
 			// release immediately.
-			ino.Value = resp.Value + 1
-			v := ino.Value
-			_, g := s.releaseLocked(ino, s.Addr(), v)
+			first := resp.Value + 1
+			ino.Value = resp.Value + n
+			_, g := s.releaseLocked(ino, s.Addr(), ino.Value)
 			s.mu.Unlock()
 			g.deliver()
-			return v, true
+			return first, true
 		case <-time.After(s.cfg.RecallTimeout * 2):
 			return 0, false
 		}
 	}
-	ino.Value++
-	v := ino.Value
+	first := ino.Value + 1
+	ino.Value += n
 	ino.Popularity++
-	ino.sinceCkpt++
+	ino.sinceCkpt += int(n)
 	var rec *journalEntry
 	if ino.sinceCkpt >= s.cfg.JournalEvery {
 		ino.sinceCkpt = 0
-		rec = &journalEntry{Op: "value", Path: ino.Path, Value: v}
+		rec = &journalEntry{Op: "value", Path: ino.Path, Value: ino.Value}
 	}
 	s.mu.Unlock()
 	if rec != nil {
 		s.journal(*rec)
 	}
-	return v, true
+	return first, true
 }
 
 func (s *Server) handleStat(r StatReq) StatResp {

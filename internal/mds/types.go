@@ -104,10 +104,11 @@ const (
 	StExists
 	StDenied
 	StAgain
+	StInval
 )
 
 func (s Status) String() string {
-	names := [...]string{"OK", "NOT_FOUND", "REDIRECT", "EXISTS", "DENIED", "AGAIN"}
+	names := [...]string{"OK", "NOT_FOUND", "REDIRECT", "EXISTS", "DENIED", "AGAIN", "EINVAL"}
 	if int(s) < len(names) {
 		return names[s]
 	}
@@ -142,6 +143,25 @@ type NextReq struct {
 type NextResp struct {
 	Status   Status
 	Value    uint64
+	Redirect int
+}
+
+// NextNReq asks the authoritative server for a contiguous range of N
+// sequencer values in one round-trip — the batched allocation that
+// amortizes the sequencer over many log appends (§5.2.1, Figures 5–7).
+type NextNReq struct {
+	Path string
+	N    int
+	// Proxied marks an MDS-to-MDS forward (proxy mode); it is served
+	// without further forwarding.
+	Proxied bool
+}
+
+// NextNResp grants the counter range [First, First+N).
+type NextNResp struct {
+	Status   Status
+	First    uint64 // first value of the granted range
+	N        int
 	Redirect int
 }
 

@@ -71,6 +71,37 @@ function write(cls)
 	return p
 end
 
+-- writev(<epoch>:<n>:{<pos>:<len>:<data>}*n): write-once vector.
+-- Entries are length-prefixed so data bytes never need escaping. The
+-- method is all-or-nothing: one collision aborts the call and the undo
+-- log rolls back every entry already applied.
+function writev(cls)
+	local e, rest = split2(cls.input)
+	checkepoch(cls, e)
+	local nstr, body = split2(rest)
+	local n = tonumber(nstr)
+	if n == nil or n < 1 then error("EINVAL: bad count") end
+	local m = tonumber(cls.getxattr("maxpos")) or -1
+	local i = 0
+	while i < n do
+		local p, r2 = split2(body)
+		local lenstr, r3 = split2(r2)
+		local pos = tonumber(p)
+		local len = tonumber(lenstr)
+		if pos == nil or pos < 0 or len == nil or len < 0 then error("EINVAL: bad entry") end
+		local data = string.sub(r3, 1, len)
+		if string.len(data) < len then error("EINVAL: truncated entry") end
+		body = string.sub(r3, len + 1)
+		local key = "e." .. p
+		if cls.omap_get(key) ~= nil then error("EEXIST: position written") end
+		cls.omap_set(key, "D" .. data)
+		if pos > m then m = pos end
+		i = i + 1
+	end
+	cls.setxattr("maxpos", tostring(m))
+	return nstr
+end
+
 -- read(<epoch>:<pos>): returns the raw entry state
 function read(cls)
 	local e, p = split2(cls.input)

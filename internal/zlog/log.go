@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/mds"
 	"repro/internal/mon"
@@ -20,7 +21,14 @@ var (
 	ErrFilled     = errors.New("zlog: position filled (junk)")
 	ErrTrimmed    = errors.New("zlog: position trimmed")
 	ErrStale      = errors.New("zlog: stale epoch")
+	// ErrRetriesExhausted reports that an append gave up after repeated
+	// position collisions (e.g. racing a recovery that keeps filling the
+	// tail).
+	ErrRetriesExhausted = errors.New("zlog: append retries exhausted")
 )
+
+// appendAttempts bounds the position-collision retry loop.
+const appendAttempts = 8
 
 // Options configures a log handle.
 type Options struct {
@@ -34,6 +42,25 @@ type Options struct {
 	// §6.2); Cacheable with Delay/Quota enables the batching modes of
 	// Figures 5-7.
 	SeqPolicy mds.CapPolicy
+	// MaxBatch bounds how many queued AsyncAppend entries coalesce into
+	// one AppendBatch dispatch; default 64.
+	MaxBatch int
+	// Window bounds how many coalesced batches may be in flight at once
+	// on the async pipeline; default 4.
+	Window int
+}
+
+// AppendResult is the outcome of one AsyncAppend.
+type AppendResult struct {
+	Pos uint64
+	Err error
+}
+
+// pendingAppend is one queued asynchronous append.
+type pendingAppend struct {
+	ctx  context.Context
+	data []byte
+	ch   chan AppendResult
 }
 
 // Log is a client handle to one shared log.
@@ -42,9 +69,20 @@ type Log struct {
 	rc   *rados.Client
 	mc   *mds.Client
 	monc *mon.Client
+	// objNames holds the precomputed stripe object names so the append
+	// hot path never formats strings per operation.
+	objNames []string
 
 	mu    sync.Mutex
 	epoch uint64
+
+	// Async pipeline state: queued entries, the lazily started drainer,
+	// and the bounded in-flight window.
+	plMu      sync.Mutex
+	plQueue   []*pendingAppend
+	plRunning bool
+	plSlots   chan struct{}
+	plWG      sync.WaitGroup
 }
 
 // SeqPath returns the sequencer inode path for log name.
@@ -59,11 +97,22 @@ func Open(ctx context.Context, net *wire.Network, self wire.Addr, mons []int, op
 	if opts.Width <= 0 {
 		opts.Width = 4
 	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.Window <= 0 {
+		opts.Window = 4
+	}
 	l := &Log{
-		opts: opts,
-		rc:   rados.NewClient(net, self+".rados", mons),
-		mc:   mds.NewClient(net, self, mons),
-		monc: mon.NewClient(net, self+".mon", mons),
+		opts:    opts,
+		rc:      rados.NewClient(net, self+".rados", mons),
+		mc:      mds.NewClient(net, self, mons),
+		monc:    mon.NewClient(net, self+".mon", mons),
+		plSlots: make(chan struct{}, opts.Window),
+	}
+	l.objNames = make([]string, opts.Width)
+	for i := range l.objNames {
+		l.objNames[i] = opts.Name + "." + strconv.Itoa(i)
 	}
 	if err := InstallClass(ctx, l.monc); err != nil {
 		return nil, err
@@ -94,8 +143,11 @@ func Open(ctx context.Context, net *wire.Network, self wire.Addr, mons []int, op
 	return l, nil
 }
 
-// Close releases client resources.
-func (l *Log) Close() { l.mc.Stop() }
+// Close drains the async pipeline and releases client resources.
+func (l *Log) Close() {
+	l.Flush()
+	l.mc.Stop()
+}
 
 // Epoch returns the client's cached log epoch.
 func (l *Log) Epoch() uint64 {
@@ -133,17 +185,59 @@ func (l *Log) refreshEpoch(ctx context.Context) error {
 	return nil
 }
 
-// objectFor maps a log position to its stripe object.
+// objectFor maps a log position to its precomputed stripe object.
 func (l *Log) objectFor(pos uint64) string {
-	return fmt.Sprintf("%s.%d", l.opts.Name, pos%uint64(l.opts.Width))
+	return l.objNames[pos%uint64(l.opts.Width)]
 }
 
-// call invokes a storage-class method with the epoch prefix, refreshing
-// the epoch and retrying once when sealed mid-flight.
-func (l *Log) call(ctx context.Context, pos uint64, method, args string) ([]byte, error) {
+// posArg renders pos as a class argument without fmt overhead.
+func posArg(pos uint64) []byte {
+	return strconv.AppendUint(make([]byte, 0, 20), pos, 10)
+}
+
+// writeArgs renders "<pos>:<data>" for the write method.
+func writeArgs(pos uint64, data []byte) []byte {
+	buf := make([]byte, 0, 21+len(data))
+	buf = strconv.AppendUint(buf, pos, 10)
+	buf = append(buf, ':')
+	return append(buf, data...)
+}
+
+// writevArgs renders the multi-entry payload for the writev method:
+// "<n>:" then one "<pos>:<len>:<data>" per entry, length-prefixed so
+// entry bytes never need escaping.
+func writevArgs(idxs []int, entries [][]byte, positions []uint64) []byte {
+	size := 21
+	for _, i := range idxs {
+		size += len(entries[i]) + 42
+	}
+	buf := make([]byte, 0, size)
+	buf = strconv.AppendInt(buf, int64(len(idxs)), 10)
+	buf = append(buf, ':')
+	for _, i := range idxs {
+		buf = strconv.AppendUint(buf, positions[i], 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(len(entries[i])), 10)
+		buf = append(buf, ':')
+		buf = append(buf, entries[i]...)
+	}
+	return buf
+}
+
+// call invokes a storage-class method on pos's stripe object.
+func (l *Log) call(ctx context.Context, pos uint64, method string, args []byte) ([]byte, error) {
+	return l.callObj(ctx, l.objectFor(pos), method, args)
+}
+
+// callObj invokes a storage-class method with the epoch prefix,
+// refreshing the epoch and retrying when sealed mid-flight.
+func (l *Log) callObj(ctx context.Context, obj, method string, args []byte) ([]byte, error) {
 	for attempt := 0; attempt < 3; attempt++ {
-		input := strconv.FormatUint(l.Epoch(), 10) + ":" + args
-		out, err := l.rc.Call(ctx, l.opts.Pool, l.objectFor(pos), ClassName, method, []byte(input))
+		input := make([]byte, 0, 21+len(args))
+		input = strconv.AppendUint(input, l.Epoch(), 10)
+		input = append(input, ':')
+		input = append(input, args...)
+		out, err := l.rc.Call(ctx, l.opts.Pool, obj, ClassName, method, input)
 		if err != nil && errors.Is(err, rados.ErrStale) {
 			// Sealed: a recovery bumped the epoch. Resync and retry.
 			if rerr := l.refreshEpoch(ctx); rerr != nil {
@@ -156,18 +250,41 @@ func (l *Log) call(ctx context.Context, pos uint64, method, args string) ([]byte
 	return nil, ErrStale
 }
 
+// writeAt writes data at pos; rados.ErrExists reports a collision.
+func (l *Log) writeAt(ctx context.Context, pos uint64, data []byte) error {
+	_, err := l.call(ctx, pos, "write", writeArgs(pos, data))
+	return err
+}
+
+// fillAbandoned best-effort junk-fills a position that was allocated
+// but will never be written, so readers do not stall on the hole.
+func (l *Log) fillAbandoned(pos uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	//lint:ignore errdrop fill is best effort: the next recovery's seal pass bounds any hole that survives it
+	_ = l.Fill(ctx, pos)
+}
+
+// fillRange junk-fills the positions of idxs, typically the unwritten
+// remainder of a failed batch.
+func (l *Log) fillRange(idxs []int, positions []uint64) {
+	for _, i := range idxs {
+		l.fillAbandoned(positions[i])
+	}
+}
+
 // Append assigns the next position from the sequencer and writes data
 // there. On a sealed-epoch race it resynchronizes and retries with a
-// fresh position, as CORFU clients do.
+// fresh position, as CORFU clients do; positions it allocates but
+// cannot write are junk-filled so readers never stall on them.
 func (l *Log) Append(ctx context.Context, data []byte) (uint64, error) {
-	for attempt := 0; attempt < 8; attempt++ {
+	for attempt := 0; attempt < appendAttempts; attempt++ {
 		v, err := l.mc.Next(ctx, SeqPath(l.opts.Name))
 		if err != nil {
 			return 0, fmt.Errorf("zlog: sequencer: %w", err)
 		}
 		pos := v - 1 // sequencer counts from 1; log positions from 0
-		args := strconv.FormatUint(pos, 10) + ":" + string(data)
-		_, err = l.call(ctx, pos, "write", args)
+		err = l.writeAt(ctx, pos, data)
 		switch {
 		case err == nil:
 			return pos, nil
@@ -175,16 +292,175 @@ func (l *Log) Append(ctx context.Context, data []byte) (uint64, error) {
 			// Someone (e.g. recovery fill) took the position; get a new one.
 			continue
 		default:
+			l.fillAbandoned(pos)
 			return 0, err
 		}
 	}
-	return 0, fmt.Errorf("zlog: append retries exhausted")
+	return 0, ErrRetriesExhausted
+}
+
+// AppendBatch appends entries as one batch: a single NextN range
+// allocation covers every entry and same-stripe entries coalesce into
+// one writev class call, so n entries cost one sequencer message plus
+// at most Width object calls instead of the serial path's 2n. The
+// returned positions parallel entries; on error, allocated-but-unwritten
+// positions are junk-filled.
+func (l *Log) AppendBatch(ctx context.Context, entries [][]byte) ([]uint64, error) {
+	n := len(entries)
+	if n == 0 {
+		return nil, nil
+	}
+	first, err := l.mc.NextN(ctx, SeqPath(l.opts.Name), n)
+	if err != nil {
+		return nil, fmt.Errorf("zlog: sequencer: %w", err)
+	}
+	positions := make([]uint64, n)
+	for i := range positions {
+		positions[i] = first - 1 + uint64(i)
+	}
+
+	width := l.opts.Width
+	groups := make([][]int, width)
+	for i := range positions {
+		s := int(positions[i] % uint64(width))
+		groups[s] = append(groups[s], i)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, width)
+	for s := 0; s < width; s++ {
+		idxs := groups[s]
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(obj string, idxs []int) {
+			defer wg.Done()
+			errCh <- l.writeStripe(ctx, obj, idxs, entries, positions)
+		}(l.objNames[s], idxs)
+	}
+	wg.Wait()
+	close(errCh)
+	for werr := range errCh {
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	return positions, nil
+}
+
+// writeStripe lands idxs' entries on one stripe object with a single
+// writev call. The class executes all-or-nothing, so one collision
+// aborts the whole vector; it then degrades to per-entry writes where
+// only the contested entries reassign positions via the serial path.
+func (l *Log) writeStripe(ctx context.Context, obj string, idxs []int, entries [][]byte, positions []uint64) error {
+	_, err := l.callObj(ctx, obj, "writev", writevArgs(idxs, entries, positions))
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, rados.ErrExists) {
+		l.fillRange(idxs, positions)
+		return err
+	}
+	for k, i := range idxs {
+		werr := l.writeAt(ctx, positions[i], entries[i])
+		if errors.Is(werr, rados.ErrExists) {
+			pos, aerr := l.Append(ctx, entries[i])
+			if aerr != nil {
+				l.fillRange(idxs[k+1:], positions)
+				return aerr
+			}
+			positions[i] = pos
+			continue
+		}
+		if werr != nil {
+			l.fillRange(idxs[k:], positions)
+			return werr
+		}
+	}
+	return nil
+}
+
+// AsyncAppend queues data for appending and returns a channel that
+// receives its assigned position (buffered; safe to read late). Queued
+// entries coalesce into AppendBatch dispatches of up to MaxBatch, with
+// at most Window batches in flight — the pipelined append path.
+// Ordering is preserved within one dispatch but not across concurrent
+// dispatches; use Flush to drain everything queued so far.
+func (l *Log) AsyncAppend(ctx context.Context, data []byte) <-chan AppendResult {
+	p := &pendingAppend{ctx: ctx, data: data, ch: make(chan AppendResult, 1)}
+	l.plMu.Lock()
+	l.plQueue = append(l.plQueue, p)
+	l.plWG.Add(1)
+	if !l.plRunning {
+		l.plRunning = true
+		go l.drainPipeline()
+	}
+	l.plMu.Unlock()
+	return p.ch
+}
+
+// Flush blocks until every AsyncAppend queued so far has completed.
+func (l *Log) Flush() { l.plWG.Wait() }
+
+// drainPipeline coalesces queued appends into bounded-window batch
+// dispatches; it exits once the queue empties.
+func (l *Log) drainPipeline() {
+	for {
+		l.plMu.Lock()
+		if len(l.plQueue) == 0 {
+			l.plRunning = false
+			l.plMu.Unlock()
+			return
+		}
+		take := l.opts.MaxBatch
+		if len(l.plQueue) < take {
+			take = len(l.plQueue)
+		}
+		batch := l.plQueue[:take:take]
+		l.plQueue = l.plQueue[take:]
+		l.plMu.Unlock()
+
+		// Wait for a window slot; the batch's own context bounds the wait
+		// so a cancelled producer cannot wedge the drainer.
+		ctx := batch[0].ctx
+		select {
+		case l.plSlots <- struct{}{}:
+		case <-ctx.Done():
+			for _, p := range batch {
+				p.ch <- AppendResult{Err: ctx.Err()}
+				l.plWG.Done()
+			}
+			continue
+		}
+		go l.dispatchBatch(batch)
+	}
+}
+
+// dispatchBatch runs one coalesced AppendBatch and fans results back to
+// the producers.
+func (l *Log) dispatchBatch(batch []*pendingAppend) {
+	defer func() { <-l.plSlots }()
+	ctx := batch[0].ctx
+	entries := make([][]byte, len(batch))
+	for i, p := range batch {
+		entries[i] = p.data
+	}
+	positions, err := l.AppendBatch(ctx, entries)
+	for i, p := range batch {
+		if err != nil {
+			p.ch <- AppendResult{Err: err}
+		} else {
+			p.ch <- AppendResult{Pos: positions[i]}
+		}
+		l.plWG.Done()
+	}
 }
 
 // Read returns the entry at pos. Reads never block on the sequencer, so
 // they proceed even during sequencer failure (§5.2.2).
 func (l *Log) Read(ctx context.Context, pos uint64) ([]byte, error) {
-	out, err := l.call(ctx, pos, "read", strconv.FormatUint(pos, 10))
+	out, err := l.call(ctx, pos, "read", posArg(pos))
 	if err != nil {
 		if errors.Is(err, rados.ErrNotFound) {
 			return nil, ErrNotWritten
@@ -207,7 +483,7 @@ func (l *Log) Read(ctx context.Context, pos uint64) ([]byte, error) {
 
 // Fill marks pos as junk so readers skip it.
 func (l *Log) Fill(ctx context.Context, pos uint64) error {
-	_, err := l.call(ctx, pos, "fill", strconv.FormatUint(pos, 10))
+	_, err := l.call(ctx, pos, "fill", posArg(pos))
 	if errors.Is(err, rados.ErrExists) {
 		return fmt.Errorf("zlog: fill %d: %w", pos, rados.ErrExists)
 	}
@@ -216,7 +492,7 @@ func (l *Log) Fill(ctx context.Context, pos uint64) error {
 
 // Trim releases the storage at pos.
 func (l *Log) Trim(ctx context.Context, pos uint64) error {
-	_, err := l.call(ctx, pos, "trim", strconv.FormatUint(pos, 10))
+	_, err := l.call(ctx, pos, "trim", posArg(pos))
 	return err
 }
 
@@ -228,8 +504,8 @@ func (l *Log) Tail(ctx context.Context) (uint64, error) {
 
 // Recover runs the CORFU sequencer-recovery protocol (§5.2.2): bump the
 // epoch in the service metadata (invalidating stale clients), seal every
-// stripe object (collecting the maximum written position), and install
-// the recomputed tail into the sequencer inode.
+// stripe object in parallel (collecting the maximum written position),
+// and install the recomputed tail into the sequencer inode.
 func (l *Log) Recover(ctx context.Context) error {
 	cur, err := l.fetchEpoch(ctx)
 	if err != nil {
@@ -240,28 +516,63 @@ func (l *Log) Recover(ctx context.Context) error {
 		return fmt.Errorf("zlog: publish epoch: %w", err)
 	}
 
-	// Seal all stripe objects; sealing is what guarantees no in-flight
-	// stale append can land after we compute the tail.
-	maxPos := int64(-1)
+	// Seal all stripe objects concurrently; sealing is what guarantees no
+	// in-flight stale append can land after we compute the tail, and the
+	// stripes are independent so the fan-out costs one round-trip total.
 	epochArg := []byte(strconv.FormatUint(newEpoch, 10))
+	type sealResult struct {
+		obj string
+		max int64
+		err error
+	}
+	results := make(chan sealResult, l.opts.Width)
 	for i := 0; i < l.opts.Width; i++ {
-		obj := fmt.Sprintf("%s.%d", l.opts.Name, i)
-		out, err := l.rc.Call(ctx, l.opts.Pool, obj, ClassName, "seal", epochArg)
-		if err != nil {
-			if errors.Is(err, rados.ErrStale) {
-				// Another recovery with a higher epoch is in flight; defer
-				// to it.
-				return fmt.Errorf("zlog: concurrent recovery: %w", ErrStale)
+		go func(obj string) {
+			out, err := l.rc.Call(ctx, l.opts.Pool, obj, ClassName, "seal", epochArg)
+			if err != nil && errors.Is(err, rados.ErrStale) {
+				// A racing recovery may have sealed this stripe at our
+				// exact epoch first. Equal-epoch recoveries converge on the
+				// same tail, so read the max position under our epoch
+				// instead of losing; only a genuinely higher epoch still
+				// rejects us here.
+				out, err = l.rc.Call(ctx, l.opts.Pool, obj, ClassName, "maxpos", epochArg)
 			}
-			return fmt.Errorf("zlog: seal %s: %w", obj, err)
+			if err != nil {
+				results <- sealResult{obj: obj, err: err}
+				return
+			}
+			mp, perr := strconv.ParseInt(string(out), 10, 64)
+			if perr != nil {
+				results <- sealResult{obj: obj, err: fmt.Errorf("returned %q", out)}
+				return
+			}
+			results <- sealResult{obj: obj, max: mp}
+		}(l.objNames[i])
+	}
+	maxPos := int64(-1)
+	var sealErr error
+	stale := false
+	for i := 0; i < l.opts.Width; i++ {
+		r := <-results
+		switch {
+		case r.err == nil:
+			if r.max > maxPos {
+				maxPos = r.max
+			}
+		case errors.Is(r.err, rados.ErrStale):
+			stale = true
+		default:
+			if sealErr == nil {
+				sealErr = fmt.Errorf("zlog: seal %s: %w", r.obj, r.err)
+			}
 		}
-		mp, perr := strconv.ParseInt(string(out), 10, 64)
-		if perr != nil {
-			return fmt.Errorf("zlog: seal %s returned %q", obj, out)
-		}
-		if mp > maxPos {
-			maxPos = mp
-		}
+	}
+	if stale {
+		// Another recovery with a higher epoch is in flight; defer to it.
+		return fmt.Errorf("zlog: concurrent recovery: %w", ErrStale)
+	}
+	if sealErr != nil {
+		return sealErr
 	}
 
 	// Install the recomputed tail: the sequencer resumes at maxPos+1
