@@ -28,10 +28,15 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Record the serial-vs-batched append comparison (PR 2's acceptance
-# numbers) in BENCH_pr2.json.
+# numbers) in BENCH_pr2.json, and the serial-vs-pipelined replicated
+# write comparison plus the ZLog end-to-end number (PR 3's) in
+# BENCH_pr3.json.
 bench-json:
 	$(GO) test -run=^$$ -bench='^BenchmarkZLogAppend(Serial|Batch)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pr2.json
 	@cat BENCH_pr2.json
+	$(GO) test -run=^$$ -bench='^Benchmark(RadosWrite(Serial|Pipelined)|ZLogAppendReplicated)$$' -benchtime=1s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	@cat BENCH_pr3.json
 
 ci: build vet lint race bench-smoke

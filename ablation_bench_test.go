@@ -41,7 +41,7 @@ func BenchmarkAblationReplication(b *testing.B) {
 }
 
 // BenchmarkAblationStripeWidth sweeps ZLog's stripe width: wider
-// stripes spread append load over more objects (and PG locks).
+// stripes spread append load over more objects (and object locks).
 func BenchmarkAblationStripeWidth(b *testing.B) {
 	for _, width := range []int{1, 4, 16} {
 		width := width

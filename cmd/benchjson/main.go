@@ -24,12 +24,15 @@ type Result struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
-// Summary is the emitted document. SpeedupBatchOverSerial is filled
-// when both ZLogAppendSerial and ZLogAppendBatch are present — the
-// ratio the PR's acceptance criterion (>= 5x at batch 64) reads.
+// Summary is the emitted document. Each speedup field is filled when
+// both of its benchmarks are present: SpeedupBatchOverSerial pairs
+// ZLogAppendSerial/ZLogAppendBatch (PR-2 criterion, >= 5x at batch 64);
+// SpeedupPipelinedOverSerial pairs RadosWriteSerial/RadosWritePipelined
+// (PR-3 criterion, >= 2x at replicas=3, same fabric latency).
 type Summary struct {
-	Benchmarks             []Result `json:"benchmarks"`
-	SpeedupBatchOverSerial float64  `json:"speedup_batch_over_serial,omitempty"`
+	Benchmarks                 []Result `json:"benchmarks"`
+	SpeedupBatchOverSerial     float64  `json:"speedup_batch_over_serial,omitempty"`
+	SpeedupPipelinedOverSerial float64  `json:"speedup_pipelined_over_serial,omitempty"`
 }
 
 // benchLine matches e.g. "BenchmarkZLogAppendBatch-8   12315   96857 ns/op".
@@ -68,17 +71,24 @@ func Parse(r io.Reader) ([]Result, error) {
 // Summarize derives the cross-benchmark metrics from parsed results.
 func Summarize(results []Result) Summary {
 	s := Summary{Benchmarks: results}
-	var serial, batch float64
+	var serial, batch, wserial, wpipe float64
 	for _, r := range results {
 		switch r.Name {
 		case "ZLogAppendSerial":
 			serial = r.NsPerOp
 		case "ZLogAppendBatch":
 			batch = r.NsPerOp
+		case "RadosWriteSerial":
+			wserial = r.NsPerOp
+		case "RadosWritePipelined":
+			wpipe = r.NsPerOp
 		}
 	}
 	if serial > 0 && batch > 0 {
 		s.SpeedupBatchOverSerial = serial / batch
+	}
+	if wserial > 0 && wpipe > 0 {
+		s.SpeedupPipelinedOverSerial = wserial / wpipe
 	}
 	return s
 }

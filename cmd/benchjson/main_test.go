@@ -54,3 +54,29 @@ func TestParseEmptyAndGarbage(t *testing.T) {
 		t.Fatalf("speedup without both benchmarks = %f, want 0", s.SpeedupBatchOverSerial)
 	}
 }
+
+const replicatedSample = `goos: linux
+pkg: repro
+BenchmarkRadosWriteSerial 	    1772	   1204652 ns/op
+BenchmarkRadosWritePipelined-4 	   12679	    184255 ns/op
+BenchmarkZLogAppendReplicated 	     253	   4693960 ns/op
+PASS
+`
+
+func TestSummarizePipelinedSpeedup(t *testing.T) {
+	results, err := Parse(strings.NewReader(replicatedSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	s := Summarize(results)
+	wantSpeedup := 1204652.0 / 184255.0
+	if math.Abs(s.SpeedupPipelinedOverSerial-wantSpeedup) > 1e-9 {
+		t.Fatalf("pipelined speedup = %f, want %f", s.SpeedupPipelinedOverSerial, wantSpeedup)
+	}
+	if s.SpeedupBatchOverSerial != 0 {
+		t.Fatalf("batch speedup = %f, want 0 (append benches absent)", s.SpeedupBatchOverSerial)
+	}
+}

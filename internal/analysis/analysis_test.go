@@ -148,3 +148,24 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("unsuppressed finding: %s", d)
 	}
 }
+
+// TestNoLockblockWaiversInRados pins the replication-pipeline invariant:
+// internal/rados must satisfy the lock-across-RPC analyzer outright,
+// with zero lockblock suppressions. (The pre-pipeline write path held
+// the PG lock across replica round-trips under two waivers; the
+// pipelined engine made the waivers unnecessary and they must never
+// come back.)
+func TestNoLockblockWaiversInRados(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), []string{"./internal/rados"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		sups, _ := collectSuppressions(pkg)
+		for s := range sups {
+			if s.pass == "lockblock" {
+				t.Errorf("%s:%d: lockblock waiver found in internal/rados; the pipelined write path must hold no lock across RPCs", s.file, s.line)
+			}
+		}
+	}
+}

@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/mon"
+	"repro/internal/retry"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -212,29 +212,6 @@ func (c *Client) rankForLocked(path string) int {
 	return 0
 }
 
-// retryBackoff waits before retry number attempt (0-based): base
-// doubled per attempt, capped at max, with jitter in [d/2, d] so
-// clients that failed together do not retry together. Returns false
-// when ctx expired instead of the timer firing.
-func retryBackoff(ctx context.Context, attempt int, base, max time.Duration) bool {
-	d := base
-	for i := 0; i < attempt && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
-}
-
 // call routes a request for path, following redirects and failing over
 // to surviving ranks.
 func (c *Client) call(ctx context.Context, path string, mk func() any) (any, error) {
@@ -259,7 +236,7 @@ func (c *Client) call(ctx context.Context, path string, mk func() any) (any, err
 				}
 				c.mu.Unlock()
 			}
-			if !retryBackoff(ctx, failures-1, 10*time.Millisecond, 160*time.Millisecond) {
+			if !retry.Backoff(ctx, failures-1, 10*time.Millisecond, 160*time.Millisecond) {
 				return nil, ctx.Err()
 			}
 			continue
@@ -275,7 +252,7 @@ func (c *Client) call(ctx context.Context, path string, mk func() any) (any, err
 		if again {
 			// Transient busy (e.g. an outstanding capability being
 			// chased): back off and retry until the context gives up.
-			if !retryBackoff(ctx, busy, 5*time.Millisecond, 80*time.Millisecond) {
+			if !retry.Backoff(ctx, busy, 5*time.Millisecond, 80*time.Millisecond) {
 				return nil, ctx.Err()
 			}
 			busy++

@@ -17,8 +17,11 @@ import (
 //     the monitor's Service Metadata interface and propagated in the
 //     OSDMap — no daemon restart, an order of magnitude less code.
 //
-// Methods run atomically: the method mutates a clone of the object and
-// the clone replaces the original only on success, under the PG lock.
+// Methods run atomically per object: they execute under the target
+// object's slot lock (script classes on the live object with an undo
+// log; native classes on a clone swapped in only on success), so a
+// method never observes or publishes a half-applied state — and never
+// blocks operations on other objects in the same PG.
 
 // ClassCtx is the execution context handed to a class method: the
 // target object plus the method input. Script-class mutations are

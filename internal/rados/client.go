@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/mon"
+	"repro/internal/retry"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -72,11 +74,18 @@ func (c *Client) CachedMap() *types.OSDMap {
 }
 
 // do routes req to the primary OSD, retrying through map refreshes on
-// staleness or placement movement.
+// staleness or placement movement. The first retry is immediate — the
+// common case is a single EMapStale resync — and later ones back off
+// with jitter so a cluster mid-reconfiguration is not hammered.
 func (c *Client) do(ctx context.Context, req OpRequest) (OpReply, error) {
 	const maxRetries = 5
 	var last OpReply
 	for attempt := 0; attempt < maxRetries; attempt++ {
+		if attempt > 1 {
+			if !retry.Backoff(ctx, attempt-2, 5*time.Millisecond, 80*time.Millisecond) {
+				return last, ctx.Err()
+			}
+		}
 		c.mu.Lock()
 		m := c.osdMap
 		c.mu.Unlock()
@@ -118,7 +127,7 @@ func (c *Client) do(ctx context.Context, req OpRequest) (OpReply, error) {
 		}
 		return rep, nil
 	}
-	return last, fmt.Errorf("rados: retries exhausted (%s)", last.Detail)
+	return last, fmt.Errorf("%w (%s)", ErrRetriesExhausted, last.Detail)
 }
 
 // Create makes an empty object, failing with ErrExists if present.

@@ -12,6 +12,14 @@ import (
 // native interfaces transactionally (Section 4.2: "an interface that
 // atomically updates a matrix stored in the bytestream and an index of
 // the matrix stored in the key-value database").
+//
+// Copy-on-write discipline: every mutation replaces the Data slice (and
+// omap/xattr value slices) with a freshly allocated one rather than
+// writing into the old backing array. That is what lets read replies
+// alias the stored slices directly — zero copies on the in-process
+// fabric — while a concurrent writer can never scribble under a reader.
+// Callers of Read/GetXattr/OmapGet must treat returned bytes as
+// immutable.
 type Object struct {
 	Name    string            `json:"name"`
 	Data    []byte            `json:"data"`
@@ -83,52 +91,129 @@ func (o *Object) OmapKeysSorted(prefix string) []string {
 	return keys
 }
 
-// pg is one placement group replica held by an OSD. All object access
-// within a PG is serialized by its mutex — this is what makes class
-// method execution atomic.
+// objEntry is the per-object concurrency slot inside a PG. Each object
+// has its own mutex, so an operation on object A never waits behind
+// object B's write or replication. The slot outlives the object itself:
+// removal leaves a tombstone (obj == nil) whose version keeps advancing,
+// which is what lets replicas order a remove against the writes around
+// it and lets backfill distinguish "never existed" from "deleted newer
+// than your copy".
+type objEntry struct {
+	mu  sync.Mutex
+	obj *Object // nil = tombstone (removed or never created)
+	// ver is the authoritative mutation counter for this name. It is
+	// mirrored into obj.Version while the object exists and survives
+	// tombstoning so the per-object order is total across the object's
+	// whole lifetime.
+	ver uint64
+	// applied is closed and replaced on every state change; replica
+	// appliers holding an out-of-order forward wait on it for the
+	// preceding mutation to land.
+	applied chan struct{}
+}
+
+// signalLocked wakes version-order waiters. Caller holds e.mu.
+func (e *objEntry) signalLocked() {
+	close(e.applied)
+	e.applied = make(chan struct{})
+}
+
+// bumpLocked advances the version after a local mutation, keeps the
+// stored object's stamp in sync, and wakes waiters. Caller holds e.mu.
+func (e *objEntry) bumpLocked() {
+	e.ver++
+	if e.obj != nil {
+		e.obj.Version = e.ver
+	}
+	e.signalLocked()
+}
+
+// materializeLocked returns the live object, creating an empty one in
+// place of a tombstone. Caller holds e.mu.
+func (e *objEntry) materializeLocked(name string) *Object {
+	if e.obj == nil {
+		e.obj = NewObject(name)
+		e.obj.Version = e.ver
+	}
+	return e.obj
+}
+
+// pg is one placement group replica held by an OSD. The PG mutex guards
+// only the name→slot map; object state is protected per object by its
+// slot's mutex, so operations on distinct objects in one PG proceed in
+// parallel. Class method atomicity is per object — exactly the unit the
+// paper's interfaces require — not per PG.
 type pg struct {
 	mu      sync.Mutex
 	id      PGID
-	objects map[string]*Object
+	objects map[string]*objEntry
+	// admit is the serial-baseline admission token: ReplicateSerial
+	// allows one operation per PG at a time by holding this token (not a
+	// mutex) across its apply+replicate window.
+	admit chan struct{}
 }
 
 func newPG(id PGID) *pg {
-	return &pg{id: id, objects: make(map[string]*Object)}
-}
-
-// get returns the named object, optionally creating it.
-func (p *pg) get(name string, create bool) *Object {
-	o, ok := p.objects[name]
-	if !ok && create {
-		o = NewObject(name)
-		p.objects[name] = o
+	return &pg{
+		id:      id,
+		objects: make(map[string]*objEntry),
+		admit:   make(chan struct{}, 1),
 	}
-	return o
 }
 
-// snapshot deep-copies the PG contents for backfill.
-func (p *pg) snapshot() []*Object {
+// entry returns the slot for name, creating it on first touch. Slots
+// are never deleted by object removal, so concurrent holders and
+// version-order waiters always share one coherent slot per name.
+func (p *pg) entry(name string) *objEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]*Object, 0, len(p.objects))
+	e, ok := p.objects[name]
+	if !ok {
+		e = &objEntry{applied: make(chan struct{})}
+		p.objects[name] = e
+	}
+	return e
+}
+
+// entries returns the current slots in sorted name order.
+func (p *pg) entries() []*objEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	names := make([]string, 0, len(p.objects))
 	for n := range p.objects {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	out := make([]*objEntry, 0, len(names))
 	for _, n := range names {
-		out = append(out, p.objects[n].clone())
+		out = append(out, p.objects[n])
 	}
 	return out
 }
 
-// digests returns per-object checksums for scrub comparison.
+// snapshot deep-copies the PG contents for backfill.
+func (p *pg) snapshot() []*Object {
+	var out []*Object
+	for _, e := range p.entries() {
+		e.mu.Lock()
+		if e.obj != nil {
+			out = append(out, e.obj.clone())
+		}
+		e.mu.Unlock()
+	}
+	return out
+}
+
+// digests returns per-object checksums for scrub comparison. Tombstones
+// are invisible, matching a replica that never saw the object.
 func (p *pg) digests() map[string]uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]uint64, len(p.objects))
-	for n, o := range p.objects {
-		out[n] = o.digest()
+	out := make(map[string]uint64)
+	for _, e := range p.entries() {
+		e.mu.Lock()
+		if e.obj != nil {
+			out[e.obj.Name] = e.obj.digest()
+		}
+		e.mu.Unlock()
 	}
 	return out
 }

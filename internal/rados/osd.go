@@ -12,6 +12,20 @@ import (
 	"repro/internal/wire"
 )
 
+// ReplicationMode selects how the primary pushes mutations to replicas.
+type ReplicationMode int
+
+const (
+	// ReplicatePipelined applies locally under the object's own lock,
+	// releases it, then forwards to all replicas in parallel (~1 RTT
+	// regardless of replica count). The default.
+	ReplicatePipelined ReplicationMode = iota
+	// ReplicateSerial is the pre-pipeline baseline kept for measurement:
+	// one operation per PG at a time, replicas contacted sequentially
+	// ((R-1)·RTT per mutation).
+	ReplicateSerial
+)
+
 // OSDConfig configures one object storage daemon.
 type OSDConfig struct {
 	ID   int
@@ -28,6 +42,14 @@ type OSDConfig struct {
 	// ScrubInterval is how often primaries compare replica digests and
 	// repair divergence; zero disables background scrub.
 	ScrubInterval time.Duration
+	// Replication selects the write-path engine; the zero value is the
+	// pipelined engine.
+	Replication ReplicationMode
+	// ReplicaWaitTimeout bounds how long a replica buffers an
+	// out-of-order forward waiting for the preceding mutation of the
+	// same object; on expiry it applies anyway and scrub repairs any
+	// residual divergence. Zero means the default.
+	ReplicaWaitTimeout time.Duration
 }
 
 func (c *OSDConfig) defaults() {
@@ -36,6 +58,9 @@ func (c *OSDConfig) defaults() {
 	}
 	if c.GossipFanout <= 0 {
 		c.GossipFanout = 2
+	}
+	if c.ReplicaWaitTimeout <= 0 {
+		c.ReplicaWaitTimeout = 250 * time.Millisecond
 	}
 }
 
@@ -49,6 +74,7 @@ type OSD struct {
 	monc     *mon.Client
 	rt       *classRuntime
 	rng      *rand.Rand
+	rngMu    sync.Mutex // guards rng alone, so gossip never contends with o.mu
 	watchers *watcherTable
 
 	mu     sync.Mutex
@@ -242,10 +268,14 @@ func (o *OSD) splitPool(pool string, m *types.OSDMap) {
 	for _, p := range held {
 		p.mu.Lock()
 		moved := make(map[int][]*Object)
-		for name, obj := range p.objects {
+		for name, e := range p.objects {
 			npg := PGForObject(name, pi.PGNum)
 			if npg != p.id.PG {
-				moved[npg] = append(moved[npg], obj.clone())
+				e.mu.Lock()
+				if e.obj != nil {
+					moved[npg] = append(moved[npg], e.obj.clone())
+				}
+				e.mu.Unlock()
 				delete(p.objects, name)
 			}
 		}
@@ -293,16 +323,21 @@ func (o *OSD) backfillPG(id PGID, m *types.OSDMap) {
 }
 
 // applyBackfill merges pushed objects, keeping the newer version of
-// each.
+// each (a tombstone's version counts: a deletion newer than the pushed
+// copy is not resurrected). Force replaces unconditionally — scrub
+// repair, where the primary's copy is authoritative.
 func (o *OSD) applyBackfill(b backfillMsg) {
 	p := o.getPG(PGID{Pool: b.Pool, PG: b.PG})
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, obj := range b.Objects {
-		cur, ok := p.objects[obj.Name]
-		if b.Force || !ok || cur.Version < obj.Version {
-			p.objects[obj.Name] = obj.clone()
+		e := p.entry(obj.Name)
+		e.mu.Lock()
+		if b.Force || e.ver < obj.Version {
+			e.obj = obj.clone()
+			e.ver = obj.Version
+			e.obj.Version = e.ver
+			e.signalLocked()
 		}
+		e.mu.Unlock()
 	}
 }
 
@@ -350,11 +385,11 @@ func (o *OSD) gossipOnce() {
 	if len(candidates) == 0 {
 		return
 	}
-	o.mu.Lock()
+	o.rngMu.Lock()
 	o.rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
-	o.mu.Unlock()
+	o.rngMu.Unlock()
 	n := o.cfg.GossipFanout
 	if n > len(candidates) {
 		n = len(candidates)

@@ -2,6 +2,7 @@ package rados
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/types"
@@ -53,29 +54,93 @@ func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
 	}
 
 	p := o.getPG(PGID{Pool: req.Pool, PG: pgnum})
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	reply, mutated := o.applyOp(p, req, m)
-	reply.Epoch = m.Epoch
+	if req.Replica {
+		return o.applyReplicaOp(ctx, p, req, m)
+	}
+	if o.cfg.Replication == ReplicateSerial {
+		return o.doSerialOp(ctx, p, req, m, acting)
+	}
 
-	// Primary-copy replication: after a successful local mutation, the
-	// primary forwards the same op to the replicas and waits for their
-	// acks. Replicas re-apply deterministically. The PG lock is held
-	// through replication so replicas observe ops in primary order.
-	if mutated && !req.Replica && reply.Result == OK {
-		fwd := req
-		fwd.Replica = true
-		fwd.Epoch = m.Epoch
-		for _, peer := range acting[1:] {
+	// Pipelined primary path: apply locally under the object's own lock,
+	// version-stamp, release the lock, then replicate. Nothing is held
+	// across the replica round-trips — per-object ordering travels in the
+	// version stamps instead of being pinned by a lock.
+	e := p.entry(req.Object)
+	e.mu.Lock()
+	prev := e.ver
+	reply, mutated := o.applyOp(e, req, m)
+	e.mu.Unlock()
+	reply.Epoch = m.Epoch
+	if mutated && reply.Result == OK {
+		o.replicate(ctx, req, acting[1:], m.Epoch, prev, reply.Version)
+	}
+	return reply
+}
+
+// replicate forwards a committed mutation to every replica concurrently
+// and waits for all acks, so the fan-out leg costs ~1 RTT regardless of
+// replica count (primary-copy replication, §4.4).
+func (o *OSD) replicate(ctx context.Context, req OpRequest, peers []int, epoch types.Epoch, prev, next uint64) {
+	if len(peers) == 0 {
+		return
+	}
+	fwd := req
+	fwd.Replica = true
+	fwd.Epoch = epoch
+	fwd.PrevVersion = prev
+	fwd.NewVersion = next
+	var wg sync.WaitGroup
+	for _, peer := range peers {
+		peer := peer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
 			rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-			//lint:ignore lockblock the PG lock is held through replication BY DESIGN: replicas must observe ops in primary order, and replicas never call back into this PG
-			_, err := o.net.Call(rctx, o.Addr(), OSDAddr(peer), fwd)
-			cancel()
-			if err != nil {
+			defer cancel()
+			if _, err := o.net.Call(rctx, o.Addr(), OSDAddr(peer), fwd); err != nil {
 				// The replica is unreachable; durability is degraded until
 				// the beacon timeout marks it down and backfill repairs.
 				lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
-				//lint:ignore lockblock same primary-order replication window as the replica forward above
+				defer lcancel()
+				o.monc.Log(lctx, "warn", "replica write to "+string(OSDAddr(peer))+" failed: "+err.Error()) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// doSerialOp is the measured baseline (ReplicateSerial): one
+// operation per PG at a time, replicas contacted sequentially inside
+// the PG-wide admission window — (R-1)·RTT per mutation, reads of
+// unrelated objects blocked behind it. The window is a channel token
+// rather than a held mutex, so the lock-across-RPC invariant holds here
+// too.
+func (o *OSD) doSerialOp(ctx context.Context, p *pg, req OpRequest, m *types.OSDMap, acting []int) OpReply {
+	select {
+	case p.admit <- struct{}{}:
+	case <-ctx.Done():
+		return OpReply{Result: EIO, Detail: "canceled awaiting pg admission", Epoch: m.Epoch}
+	}
+	defer func() { <-p.admit }()
+
+	e := p.entry(req.Object)
+	e.mu.Lock()
+	prev := e.ver
+	reply, mutated := o.applyOp(e, req, m)
+	e.mu.Unlock()
+	reply.Epoch = m.Epoch
+	if mutated && reply.Result == OK {
+		fwd := req
+		fwd.Replica = true
+		fwd.Epoch = m.Epoch
+		fwd.PrevVersion = prev
+		fwd.NewVersion = reply.Version
+		for _, peer := range acting[1:] {
+			rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := o.net.Call(rctx, o.Addr(), OSDAddr(peer), fwd)
+			cancel()
+			if err != nil {
+				lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
 				o.monc.Log(lctx, "warn", "replica write to "+string(OSDAddr(peer))+" failed: "+err.Error()) //nolint:errcheck
 				lcancel()
 			}
@@ -84,109 +149,171 @@ func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
 	return reply
 }
 
-// applyOp executes one op against the PG (held locked). Returns the
-// reply and whether object state changed (drives replication).
-func (o *OSD) applyOp(p *pg, req OpRequest, m *types.OSDMap) (OpReply, bool) {
+// applyReplicaOp applies a primary forward in the primary's per-object
+// version order. A forward that arrives ahead of its predecessor (the
+// parallel fan-outs of two writes to one object can cross on the
+// fabric) buffers on the slot's applied channel until the local version
+// catches up to PrevVersion, bounded by ReplicaWaitTimeout; on expiry
+// it applies anyway — the primary's stamp still lands via NewVersion
+// and scrub repairs any residual divergence. A forward that arrives
+// after a newer mutation already applied is dropped as a stale
+// duplicate rather than regressing state.
+func (o *OSD) applyReplicaOp(ctx context.Context, p *pg, req OpRequest, m *types.OSDMap) OpReply {
+	e := p.entry(req.Object)
+	e.mu.Lock()
+	deadline := time.Now().Add(o.cfg.ReplicaWaitTimeout)
+	for e.ver < req.PrevVersion {
+		ch := e.applied
+		e.mu.Unlock()
+		ok := waitApplied(ctx, ch, deadline)
+		e.mu.Lock()
+		if !ok {
+			break
+		}
+	}
+	if e.ver > req.PrevVersion {
+		reply := OpReply{Result: OK, Version: e.ver, Epoch: m.Epoch}
+		e.mu.Unlock()
+		return reply
+	}
+	reply, mutated := o.applyOp(e, req, m)
+	if mutated && req.NewVersion > 0 {
+		// Pin to the primary's stamp so a forced out-of-order apply
+		// re-converges the version sequence.
+		e.ver = req.NewVersion
+		if e.obj != nil {
+			e.obj.Version = e.ver
+		}
+		reply.Version = e.ver
+	}
+	e.mu.Unlock()
+	reply.Epoch = m.Epoch
+	return reply
+}
+
+// waitApplied blocks until ch closes (the object advanced), the
+// deadline passes, or ctx is done. Returns true only for the advance.
+func waitApplied(ctx context.Context, ch <-chan struct{}, deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// applyOp executes one op against the object's slot (held locked by the
+// caller). Returns the reply and whether object state changed (drives
+// replication). Read replies alias stored slices — safe under the
+// copy-on-write discipline documented on Object.
+func (o *OSD) applyOp(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, bool) {
 	switch req.Op {
 	case OpStat:
-		obj := p.get(req.Object, false)
-		if obj == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
-		return OpReply{Result: OK, Size: int64(len(obj.Data)), Version: obj.Version}, false
+		return OpReply{Result: OK, Size: int64(len(e.obj.Data)), Version: e.ver}, false
 
 	case OpRead:
-		obj := p.get(req.Object, false)
-		if obj == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
-		return OpReply{Result: OK, Data: append([]byte(nil), obj.Data...), Version: obj.Version}, false
+		return OpReply{Result: OK, Data: e.obj.Data, Version: e.ver}, false
 
 	case OpCreate:
-		if p.get(req.Object, false) != nil {
+		if e.obj != nil {
 			return OpReply{Result: EEXIST}, false
 		}
-		obj := p.get(req.Object, true)
-		obj.Version++
-		return OpReply{Result: OK, Version: obj.Version}, true
+		e.materializeLocked(req.Object)
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpWriteFull:
-		obj := p.get(req.Object, true)
+		obj := e.materializeLocked(req.Object)
 		obj.Data = append([]byte(nil), req.Data...)
-		obj.Version++
-		return OpReply{Result: OK, Version: obj.Version}, true
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpAppend:
-		obj := p.get(req.Object, true)
-		obj.Data = append(obj.Data, req.Data...)
-		obj.Version++
-		return OpReply{Result: OK, Version: obj.Version}, true
+		obj := e.materializeLocked(req.Object)
+		// Fresh allocation, not append-in-place: readers may hold the old
+		// slice (copy-on-write).
+		grown := make([]byte, 0, len(obj.Data)+len(req.Data))
+		grown = append(append(grown, obj.Data...), req.Data...)
+		obj.Data = grown
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpRemove:
-		if p.get(req.Object, false) == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
-		delete(p.objects, req.Object)
-		return OpReply{Result: OK}, true
+		e.obj = nil
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpOmapGet:
-		obj := p.get(req.Object, false)
-		if obj == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
 		kv := make(map[string][]byte)
 		for _, k := range req.Keys {
-			if v, ok := obj.Omap[k]; ok {
-				kv[k] = append([]byte(nil), v...)
+			if v, ok := e.obj.Omap[k]; ok {
+				kv[k] = v
 			}
 		}
-		return OpReply{Result: OK, KV: kv, Version: obj.Version}, false
+		return OpReply{Result: OK, KV: kv, Version: e.ver}, false
 
 	case OpOmapSet:
-		obj := p.get(req.Object, true)
+		obj := e.materializeLocked(req.Object)
 		for k, v := range req.KV {
 			obj.Omap[k] = append([]byte(nil), v...)
 		}
-		obj.Version++
-		return OpReply{Result: OK, Version: obj.Version}, true
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpOmapDel:
-		obj := p.get(req.Object, false)
-		if obj == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
 		for _, k := range req.Keys {
-			delete(obj.Omap, k)
+			delete(e.obj.Omap, k)
 		}
-		obj.Version++
-		return OpReply{Result: OK, Version: obj.Version}, true
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpOmapList:
-		obj := p.get(req.Object, false)
-		if obj == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
-		return OpReply{Result: OK, Keys: obj.OmapKeysSorted(req.Key), Version: obj.Version}, false
+		return OpReply{Result: OK, Keys: e.obj.OmapKeysSorted(req.Key), Version: e.ver}, false
 
 	case OpGetXattr:
-		obj := p.get(req.Object, false)
-		if obj == nil {
+		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
-		v, ok := obj.Xattrs[req.Key]
+		v, ok := e.obj.Xattrs[req.Key]
 		if !ok {
 			return OpReply{Result: ENOENT, Detail: "no such xattr"}, false
 		}
-		return OpReply{Result: OK, Data: append([]byte(nil), v...), Version: obj.Version}, false
+		return OpReply{Result: OK, Data: v, Version: e.ver}, false
 
 	case OpSetXattr:
-		obj := p.get(req.Object, true)
+		obj := e.materializeLocked(req.Object)
 		obj.Xattrs[req.Key] = append([]byte(nil), req.Data...)
-		obj.Version++
-		return OpReply{Result: OK, Version: obj.Version}, true
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpCall:
-		return o.applyCall(p, req, m)
+		return o.applyCall(e, req, m)
 	}
 	return OpReply{Result: EINVAL, Detail: "unknown op"}, false
 }
@@ -194,50 +321,49 @@ func (o *OSD) applyOp(p *pg, req OpRequest, m *types.OSDMap) (OpReply, bool) {
 // applyCall executes a class method transactionally. Native methods run
 // on a clone that replaces the object only on success (they are rare
 // and compiled-in). Script methods — the hot, user-supplied path — run
-// directly on the live object under the PG lock with an undo log, so an
-// abort rolls back in time proportional to the state touched rather
+// directly on the live object under its slot lock with an undo log, so
+// an abort rolls back in time proportional to the state touched rather
 // than the object's size (ZLog stripe objects grow without bound).
-func (o *OSD) applyCall(p *pg, req OpRequest, m *types.OSDMap) (OpReply, bool) {
+func (o *OSD) applyCall(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, bool) {
 	if o.rt.isNative(req.Class) {
-		return o.applyNativeCall(p, req)
+		return o.applyNativeCall(e, req)
 	}
 	def, ok := m.Classes[req.Class]
 	if !ok {
 		return OpReply{Result: ENOENT, Detail: "no such class: " + req.Class}, false
 	}
 
-	existed := p.get(req.Object, false) != nil
-	obj := p.get(req.Object, true)
+	existed := e.obj != nil
+	obj := e.materializeLocked(req.Object)
 	ctx := &ClassCtx{Obj: obj, Input: req.Input}
 	out, rc := o.rt.callScript(def, req.Method, ctx)
 	if rc != OK {
 		ctx.rollback()
 		if !existed {
-			delete(p.objects, req.Object)
+			e.obj = nil
 		}
 		return OpReply{Result: rc, Detail: string(out), Data: out}, false
 	}
 	if ctx.mutated {
-		obj.Version++
+		e.bumpLocked()
 	} else if !existed {
 		// A pure read on a nonexistent object leaves no trace.
-		delete(p.objects, req.Object)
+		e.obj = nil
 	}
-	return OpReply{Result: OK, Data: out, Version: obj.Version}, ctx.mutated
+	return OpReply{Result: OK, Data: out, Version: e.ver}, ctx.mutated
 }
 
 // applyNativeCall runs a compiled-in method on a clone, swapping it in
 // only when the method succeeds and actually changed state.
-func (o *OSD) applyNativeCall(p *pg, req OpRequest) (OpReply, bool) {
-	orig := p.get(req.Object, false)
+func (o *OSD) applyNativeCall(e *objEntry, req OpRequest) (OpReply, bool) {
 	var work *Object
 	var preDigest uint64
-	existed := orig != nil
-	if existed {
-		work = orig.clone()
-		preDigest = orig.digest()
+	if e.obj != nil {
+		work = e.obj.clone()
+		preDigest = e.obj.digest()
 	} else {
 		work = NewObject(req.Object)
+		work.Version = e.ver
 		preDigest = work.digest()
 	}
 	ctx := &ClassCtx{Obj: work, Input: req.Input}
@@ -253,8 +379,8 @@ func (o *OSD) applyNativeCall(p *pg, req OpRequest) (OpReply, bool) {
 	}
 	mutated := work.digest() != preDigest
 	if mutated {
-		work.Version++
-		p.objects[req.Object] = work
+		e.obj = work
+		e.bumpLocked()
 	}
-	return OpReply{Result: OK, Data: out, Version: work.Version}, mutated
+	return OpReply{Result: OK, Data: out, Version: e.ver}, mutated
 }

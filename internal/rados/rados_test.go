@@ -610,19 +610,19 @@ func TestScrubRepairsDivergence(t *testing.T) {
 	}
 	victim := tc.osds[acting[1]]
 	pgid := PGID{Pool: "data", PG: PGForObject("gold", m.Pools["data"].PGNum)}
-	vp := victim.getPG(pgid)
-	vp.mu.Lock()
-	vp.objects["gold"].Data = []byte("CORRUPT")
-	vp.mu.Unlock()
+	ve := victim.getPG(pgid).entry("gold")
+	ve.mu.Lock()
+	ve.obj.Data = []byte("CORRUPT")
+	ve.mu.Unlock()
 
 	// Run a scrub round on the primary.
 	primary := tc.osds[acting[0]]
 	primary.scrubOnce()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		vp.mu.Lock()
-		data := string(vp.objects["gold"].Data)
-		vp.mu.Unlock()
+		ve.mu.Lock()
+		data := string(ve.obj.Data)
+		ve.mu.Unlock()
 		if data == "pristine" {
 			break
 		}

@@ -1,0 +1,355 @@
+package rados
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mon"
+	"repro/internal/paxos"
+	"repro/internal/wire"
+)
+
+// clusterOpts parameterizes bootClusterOpts beyond what bootCluster
+// fixes: fabric shaping, replication mode, and gossip cadence (the
+// message-complexity tests need a quiet fabric).
+type clusterOpts struct {
+	osds     int
+	replicas int
+	netOpts  []wire.Option
+	osd      OSDConfig // template; ID/Mons filled per daemon
+}
+
+func bootClusterOpts(t *testing.T, opts clusterOpts) *testCluster {
+	t.Helper()
+	net := wire.NewNetwork(opts.netOpts...)
+	tc := &testCluster{net: net}
+
+	m := mon.New(net, mon.Config{
+		ID: 0, Peers: []int{0},
+		ProposalInterval: 5 * time.Millisecond,
+		Paxos: paxos.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+			ElectionTimeout:   200 * time.Millisecond,
+		},
+	})
+	m.Start()
+	if err := m.Lead(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tc.mons = append(tc.mons, m)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	boot := mon.NewClient(net, "client.boot", []int{0})
+	if err := boot.CreatePool(ctx, "data", 8, opts.replicas); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < opts.osds; i++ {
+		cfg := opts.osd
+		cfg.ID = i
+		cfg.Mons = []int{0}
+		if cfg.GossipInterval == 0 {
+			cfg.GossipInterval = 20 * time.Millisecond
+		}
+		osd := NewOSD(net, cfg)
+		if err := osd.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		tc.osds = append(tc.osds, osd)
+	}
+	tc.client = NewClient(net, "client.0", []int{0})
+	if err := tc.client.RefreshMap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, o := range tc.osds {
+			o.Stop()
+		}
+		m.Stop()
+	})
+	return tc
+}
+
+// samePGName finds an object name in the same placement group as base
+// (pool "data" has PGNum 8 in these tests).
+func samePGName(base, prefix string, pgnum int) string {
+	want := PGForObject(base, pgnum)
+	for i := 0; ; i++ {
+		s := fmt.Sprintf("%s-%d", prefix, i)
+		if PGForObject(s, pgnum) == want {
+			return s
+		}
+	}
+}
+
+// TestReplicatedWriteMessageComplexity pins down the message cost of a
+// replicas=3 mutation on the pipelined path: exactly 1 client→primary
+// call plus 2 primary→replica forwards, and the forwards are in flight
+// concurrently (the per-endpoint high-water mark reaches 2).
+func TestReplicatedWriteMessageComplexity(t *testing.T) {
+	tc := bootClusterOpts(t, clusterOpts{
+		osds: 3, replicas: 3,
+		osd: OSDConfig{GossipInterval: time.Hour}, // quiet fabric: only op traffic
+	})
+	ctx := ctxT(t, 10*time.Second)
+
+	// Warm-up settles the client's map epoch so the measured write needs
+	// no EMapStale resync round-trips.
+	if err := tc.client.WriteFull(ctx, "data", "counted", []byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	m := tc.client.CachedMap()
+	_, acting, err := Locate(m, "data", "counted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acting) != 3 {
+		t.Fatalf("acting set = %v, want 3 OSDs", acting)
+	}
+	primary := OSDAddr(acting[0])
+
+	// Give the fabric real latency so the two replica forwards overlap
+	// in flight (instant delivery would let one finish before the other
+	// starts and hide the concurrency from the gauge).
+	tc.net.SetLatency(time.Millisecond, 0)
+	before := tc.net.Stats()
+	if err := tc.client.WriteFull(ctx, "data", "counted", []byte("measured")); err != nil {
+		t.Fatal(err)
+	}
+	after := tc.net.Stats()
+
+	if got := after.Outbound["client.0"].Calls - before.Outbound["client.0"].Calls; got != 1 {
+		t.Errorf("client calls = %d, want exactly 1", got)
+	}
+	if got := after.Outbound[primary].Calls - before.Outbound[primary].Calls; got != 2 {
+		t.Errorf("primary replica forwards = %d, want exactly 2", got)
+	}
+	if got := after.Outbound[primary].MaxInflight; got < 2 {
+		t.Errorf("primary outbound MaxInflight = %d, want >= 2 (parallel fan-out)", got)
+	}
+}
+
+// TestFanOutLatencyOneRTT shapes the fabric at 1ms one-way and shows
+// the replication leg costs ~1 RTT, not the serial path's 2: a
+// pipelined replicas=3 write completes in ~4ms (client RTT + one
+// parallel fan-out RTT) where the serial baseline needs ~6ms (client
+// RTT + two sequential replica RTTs).
+func TestFanOutLatencyOneRTT(t *testing.T) {
+	measure := func(mode ReplicationMode) time.Duration {
+		tc := bootClusterOpts(t, clusterOpts{
+			osds: 3, replicas: 3,
+			osd: OSDConfig{GossipInterval: time.Hour, Replication: mode},
+		})
+		ctx := ctxT(t, 30*time.Second)
+		if err := tc.client.WriteFull(ctx, "data", "timed", []byte("warmup")); err != nil {
+			t.Fatal(err)
+		}
+		tc.net.SetLatency(time.Millisecond, 0)
+		const rounds = 5
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := tc.client.WriteFull(ctx, "data", "timed", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / rounds
+	}
+
+	pipelined := measure(ReplicatePipelined)
+	serial := measure(ReplicateSerial)
+	t.Logf("avg write latency at 1ms fabric: pipelined=%v serial=%v", pipelined, serial)
+	if pipelined >= 5200*time.Microsecond {
+		t.Errorf("pipelined write took %v, want < 5.2ms (~2 RTT total)", pipelined)
+	}
+	if serial-pipelined < 800*time.Microsecond {
+		t.Errorf("fan-out saved only %v over serial, want ~1 full RTT (2ms)", serial-pipelined)
+	}
+}
+
+// TestPerObjectConcurrency holds one object's slot lock (a stand-in for
+// a slow write or class call on it) and shows operations on a sibling
+// object in the same PG proceed unimpeded — the property the PG-wide
+// lock could not give.
+func TestPerObjectConcurrency(t *testing.T) {
+	tc := bootClusterOpts(t, clusterOpts{osds: 3, replicas: 3, osd: OSDConfig{GossipInterval: time.Hour}})
+	ctx := ctxT(t, 15*time.Second)
+
+	m := tc.client.CachedMap()
+	pgnum := m.Pools["data"].PGNum
+	blocked := "blocked"
+	sibling := samePGName(blocked, "free", pgnum)
+	for _, name := range []string{blocked, sibling} {
+		if err := tc.client.WriteFull(ctx, "data", name, []byte("seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, acting, err := Locate(m, "data", blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := tc.osds[acting[0]]
+	pgid := PGID{Pool: "data", PG: PGForObject(blocked, pgnum)}
+	e := primary.getPG(pgid).entry(blocked)
+
+	e.mu.Lock()
+	writeDone := make(chan error, 1)
+	go func() {
+		wctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		writeDone <- tc.client.WriteFull(wctx, "data", blocked, []byte("stalled"))
+	}()
+
+	// While the write on "blocked" is stuck behind its object lock, a
+	// read of the sibling in the same PG must complete promptly.
+	rctx, rcancel := context.WithTimeout(ctx, 2*time.Second)
+	got, err := tc.client.Read(rctx, "data", sibling)
+	rcancel()
+	if err != nil {
+		e.mu.Unlock()
+		t.Fatalf("sibling read blocked behind another object's lock: %v", err)
+	}
+	if string(got) != "seed" {
+		e.mu.Unlock()
+		t.Fatalf("sibling read = %q", got)
+	}
+	select {
+	case err := <-writeDone:
+		e.mu.Unlock()
+		t.Fatalf("write to locked object completed while lock held (err=%v)", err)
+	default:
+	}
+	e.mu.Unlock()
+	if err := <-writeDone; err != nil {
+		t.Fatalf("write after release: %v", err)
+	}
+}
+
+// TestReplicaConvergenceConcurrentWriters races writers against one hot
+// object and sibling objects in the same PG over a jittery fabric (so
+// parallel fan-outs genuinely cross), then asserts every replica holds
+// byte-identical state in the primary's per-object version order and
+// that a scrub round finds nothing to repair.
+func TestReplicaConvergenceConcurrentWriters(t *testing.T) {
+	tc := bootClusterOpts(t, clusterOpts{
+		osds: 3, replicas: 3,
+		netOpts: []wire.Option{wire.WithLatency(200*time.Microsecond, 300*time.Microsecond)},
+		osd:     OSDConfig{GossipInterval: time.Hour},
+	})
+	ctx := ctxT(t, 60*time.Second)
+
+	m := tc.client.CachedMap()
+	pgnum := m.Pools["data"].PGNum
+	hot := "hot"
+	siblings := []string{
+		samePGName(hot, "sib-a", pgnum),
+		samePGName(hot, "sib-b", pgnum),
+	}
+
+	const writers, opsPerWriter = 4, 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+len(siblings))
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := NewClient(tc.net, wire.Addr(fmt.Sprintf("client.w%d", w)), []int{0})
+			if err := cl.RefreshMap(ctx); err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < opsPerWriter; i++ {
+				if err := cl.Append(ctx, "data", hot, []byte(fmt.Sprintf("[w%d:%d]", w, i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for si, name := range siblings {
+		si, name := si, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := NewClient(tc.net, wire.Addr(fmt.Sprintf("client.s%d", si)), []int{0})
+			if err := cl.RefreshMap(ctx); err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < opsPerWriter; i++ {
+				if err := cl.WriteFull(ctx, "data", name, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Acks are synchronous, so once every client op returned the
+	// replicas have applied everything. Compare them to the primary.
+	for _, name := range append([]string{hot}, siblings...) {
+		_, acting, err := Locate(m, "data", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pgid := PGID{Pool: "data", PG: PGForObject(name, pgnum)}
+		read := func(osd *OSD) (string, uint64) {
+			e := osd.getPG(pgid).entry(name)
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if e.obj == nil {
+				return "<tombstone>", e.ver
+			}
+			return string(e.obj.Data), e.ver
+		}
+		wantData, wantVer := read(tc.osds[acting[0]])
+		if name == hot && wantVer != writers*opsPerWriter {
+			t.Errorf("%s: primary version = %d, want %d", name, wantVer, writers*opsPerWriter)
+		}
+		for _, rep := range acting[1:] {
+			gotData, gotVer := read(tc.osds[rep])
+			if gotVer != wantVer {
+				t.Errorf("%s: osd.%d version = %d, primary has %d", name, rep, gotVer, wantVer)
+			}
+			if gotData != wantData {
+				t.Errorf("%s: osd.%d data diverged from primary (len %d vs %d)", name, rep, len(gotData), len(wantData))
+			}
+		}
+	}
+
+	// A scrub round across the cluster must find nothing to repair.
+	for _, osd := range tc.osds {
+		osd.scrubOnce()
+	}
+	for _, osd := range tc.osds {
+		if n := osd.ScrubRepairs(); n != 0 {
+			t.Errorf("osd repaired %d divergent replicas, want 0", n)
+		}
+	}
+}
+
+// TestClientTypedRetryError exhausts the client's retry budget against
+// an unreachable primary and checks the typed sentinel surfaces.
+func TestClientTypedRetryError(t *testing.T) {
+	tc := bootClusterOpts(t, clusterOpts{osds: 1, replicas: 1, osd: OSDConfig{GossipInterval: time.Hour}})
+	ctx := ctxT(t, 15*time.Second)
+	if err := tc.client.WriteFull(ctx, "data", "obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the only OSD; with no beacons the map never changes, so every
+	// retry re-targets the dead primary until the budget runs out.
+	tc.osds[0].Stop()
+	err := tc.client.WriteFull(ctx, "data", "obj", []byte("y"))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+}

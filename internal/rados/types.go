@@ -81,6 +81,9 @@ var (
 	ErrInval    = errors.New("rados: invalid argument")
 	ErrIO       = errors.New("rados: io error")
 	ErrCanceled = errors.New("rados: operation canceled by class")
+	// ErrRetriesExhausted wraps the final failure after the client's
+	// map-refresh retry budget is spent; callers match it with errors.Is.
+	ErrRetriesExhausted = errors.New("rados: retries exhausted")
 )
 
 // ErrFor converts a result code to a sentinel error (nil for OK).
@@ -130,6 +133,12 @@ type OpRequest struct {
 	// Replica marks a primary-to-replica forward; replicas apply without
 	// re-forwarding.
 	Replica bool
+	// PrevVersion/NewVersion carry the primary's per-object version
+	// stamps on a replica forward: the replica applies only once its
+	// local copy reaches PrevVersion (buffering out-of-order arrivals of
+	// the parallel fan-out) and lands on NewVersion afterwards.
+	PrevVersion uint64
+	NewVersion  uint64
 	// ExpectedVersion, when > 0 with OpCall/writes, is reserved for
 	// optimistic guards (unused by the shipped classes).
 	ExpectedVersion uint64

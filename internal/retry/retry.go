@@ -1,0 +1,35 @@
+// Package retry holds the one retry/backoff helper every client in the
+// tree shares: context-aware exponential backoff with jitter. It lives
+// in its own package because both the metadata-service client
+// (internal/mds) and the object-store client (internal/rados) need it,
+// and mds already imports rados.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff waits before retry number attempt (0-based): base doubled per
+// attempt, capped at max, with jitter in [d/2, d] so clients that
+// failed together do not retry together. Returns false when ctx expired
+// instead of the timer firing.
+func Backoff(ctx context.Context, attempt int, base, max time.Duration) bool {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

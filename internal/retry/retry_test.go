@@ -1,0 +1,37 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffWaitsWithinBounds(t *testing.T) {
+	ctx := context.Background()
+	for attempt := 0; attempt < 6; attempt++ {
+		start := time.Now()
+		if !Backoff(ctx, attempt, 2*time.Millisecond, 16*time.Millisecond) {
+			t.Fatalf("attempt %d: backoff reported context expiry", attempt)
+		}
+		got := time.Since(start)
+		// Doubled per attempt, capped at max, jittered into [d/2, d].
+		want := 2 * time.Millisecond << attempt
+		if want > 16*time.Millisecond {
+			want = 16 * time.Millisecond
+		}
+		if got < want/2-time.Millisecond {
+			t.Fatalf("attempt %d: waited %v, want >= %v", attempt, got, want/2)
+		}
+		if got > want+50*time.Millisecond {
+			t.Fatalf("attempt %d: waited %v, want <= ~%v", attempt, got, want)
+		}
+	}
+}
+
+func TestBackoffHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if Backoff(ctx, 8, time.Second, time.Minute) {
+		t.Fatal("backoff ignored canceled context")
+	}
+}

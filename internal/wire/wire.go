@@ -39,6 +39,23 @@ type Stats struct {
 	Sends   uint64
 	Drops   uint64
 	Refused uint64
+	// Outbound breaks Call traffic down by calling endpoint. MaxInflight
+	// is the high-water mark of concurrent Calls in flight from that
+	// address — the observable signature of parallel fan-out.
+	Outbound map[Addr]EndpointStats
+}
+
+// EndpointStats is the per-caller view of outbound Call traffic.
+type EndpointStats struct {
+	Calls       uint64
+	Inflight    uint64
+	MaxInflight uint64
+}
+
+type endpointStat struct {
+	calls       uint64
+	inflight    uint64
+	maxInflight uint64
 }
 
 // Network is an in-process fabric. The zero value is not usable; call
@@ -57,6 +74,9 @@ type Network struct {
 	sends   atomic.Uint64
 	drops   atomic.Uint64
 	refused atomic.Uint64
+
+	outMu    sync.Mutex
+	outbound map[Addr]*endpointStat
 }
 
 // Option configures a Network.
@@ -88,6 +108,7 @@ func NewNetwork(opts ...Option) *Network {
 		endpoints:  make(map[Addr]Handler),
 		partitions: make(map[[2]Addr]bool),
 		rng:        rand.New(rand.NewSource(1)),
+		outbound:   make(map[Addr]*endpointStat),
 	}
 	for _, o := range opts {
 		o(n)
@@ -148,11 +169,47 @@ func (n *Network) SetDropRate(p float64) {
 
 // Stats returns a snapshot of traffic counters.
 func (n *Network) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Calls:   n.calls.Load(),
 		Sends:   n.sends.Load(),
 		Drops:   n.drops.Load(),
 		Refused: n.refused.Load(),
+	}
+	n.outMu.Lock()
+	defer n.outMu.Unlock()
+	s.Outbound = make(map[Addr]EndpointStats, len(n.outbound))
+	for a, e := range n.outbound {
+		s.Outbound[a] = EndpointStats{
+			Calls:       e.calls,
+			Inflight:    e.inflight,
+			MaxInflight: e.maxInflight,
+		}
+	}
+	return s
+}
+
+// callBegin marks a Call leaving from and updates its inflight high-water
+// mark; callEnd must follow once the Call completes.
+func (n *Network) callBegin(from Addr) {
+	n.outMu.Lock()
+	defer n.outMu.Unlock()
+	e := n.outbound[from]
+	if e == nil {
+		e = &endpointStat{}
+		n.outbound[from] = e
+	}
+	e.calls++
+	e.inflight++
+	if e.inflight > e.maxInflight {
+		e.maxInflight = e.inflight
+	}
+}
+
+func (n *Network) callEnd(from Addr) {
+	n.outMu.Lock()
+	defer n.outMu.Unlock()
+	if e := n.outbound[from]; e != nil && e.inflight > 0 {
+		e.inflight--
 	}
 }
 
@@ -220,6 +277,8 @@ func (n *Network) Call(ctx context.Context, from, to Addr, req any) (any, error)
 		return nil, err
 	}
 	n.calls.Add(1)
+	n.callBegin(from)
+	defer n.callEnd(from)
 	if err := sleepCtx(ctx, d); err != nil {
 		return nil, err
 	}

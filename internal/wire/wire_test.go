@@ -171,6 +171,42 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+func TestOutboundEndpointStats(t *testing.T) {
+	n := NewNetwork()
+	release := make(chan struct{})
+	var entered sync.WaitGroup
+	entered.Add(2)
+	n.Listen("osd.0", func(_ context.Context, _ Addr, req any) (any, error) {
+		entered.Done()
+		<-release
+		return req, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = n.Call(context.Background(), "osd.primary", "osd.0", 1)
+		}()
+	}
+	entered.Wait() // both calls are in flight from osd.primary right now
+	mid := n.Stats().Outbound["osd.primary"]
+	close(release)
+	wg.Wait()
+	if mid.Inflight != 2 || mid.MaxInflight != 2 {
+		t.Fatalf("mid-flight stats = %+v, want Inflight=2 MaxInflight=2", mid)
+	}
+	end := n.Stats().Outbound["osd.primary"]
+	if end.Calls != 2 || end.Inflight != 0 || end.MaxInflight != 2 {
+		t.Fatalf("final stats = %+v, want Calls=2 Inflight=0 MaxInflight=2", end)
+	}
+	// Failed routes (unreachable endpoint) never begin an outbound call.
+	_, _ = n.Call(context.Background(), "osd.primary", "missing", 1)
+	if got := n.Stats().Outbound["osd.primary"].Calls; got != 2 {
+		t.Fatalf("refused call counted: Calls = %d, want 2", got)
+	}
+}
+
 func TestConcurrentCalls(t *testing.T) {
 	n := NewNetwork()
 	var served atomic.Int64
