@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-smoke bench-json ci
+.PHONY: build test race vet lint lint-json lint-fixtures bench bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,21 @@ vet:
 	$(GO) vet ./...
 
 # Domain-aware static analysis (internal/analysis): epochguard,
-# lockblock, errdrop, sleepsync, ctxleak. Fails on any unsuppressed
-# finding; suppressions require //lint:ignore <pass> <reason>.
+# lockblock, errdrop, sleepsync, ctxleak, fieldguard, goleak, chanlife.
+# Fails on any unsuppressed finding; suppressions require
+# //lint:ignore <pass> <reason> and are budgeted by TestWaiverBudget.
 lint:
 	$(GO) run ./cmd/malacolint ./...
+
+# Same gate, but the findings land in malacolint-report.json (CI uploads
+# it as an artifact). Still fails the build on any finding.
+lint-json:
+	$(GO) run ./cmd/malacolint -json ./... > malacolint-report.json; \
+	status=$$?; cat malacolint-report.json; exit $$status
+
+# The analyzers' own golden-fixture tests plus the waiver budget.
+lint-fixtures:
+	$(GO) test -count=1 -run 'TestEpochGuard|TestLockBlock|TestErrDrop|TestSleepSync|TestCtxLeak|TestFieldGuard|TestGoLeak|TestChanLife|TestWaiverBudget|TestMalformedSuppression' ./internal/analysis
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -39,4 +50,4 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_pr3.json
 	@cat BENCH_pr3.json
 
-ci: build vet lint race bench-smoke
+ci: build vet lint-json lint-fixtures race bench-smoke

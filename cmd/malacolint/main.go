@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	malacolint [-passes epochguard,errdrop] [-list] [packages]
+//	malacolint [-passes epochguard,errdrop] [-list] [-json] [-waivers] [packages]
+//
+// -json prints the findings (or, with -waivers, the waiver list) as a
+// machine-readable report on stdout; CI archives it as a build
+// artifact. -waivers lists every //lint:ignore marker instead of
+// running the analyzers, so the audited-exception budget is one
+// command away.
 //
 // The package patterns default to ./... and are resolved by `go list`
 // relative to the current directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +28,29 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// jsonWaiver is one //lint:ignore marker in the -json -waivers report.
+type jsonWaiver struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Pass   string `json:"pass"`
+	Reason string `json:"reason"`
+}
+
 func main() {
 	var (
-		passesFlag = flag.String("passes", "", "comma-separated pass names to run (default: all)")
-		listFlag   = flag.Bool("list", false, "list available passes and exit")
+		passesFlag  = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+		listFlag    = flag.Bool("list", false, "list available passes and exit")
+		jsonFlag    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+		waiversFlag = flag.Bool("waivers", false, "list //lint:ignore waivers instead of running the analyzers")
 	)
 	flag.Parse()
 
@@ -70,6 +96,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	relPath := func(name string) string {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+
+	if *waiversFlag {
+		waivers := analysis.Waivers(pkgs)
+		if *jsonFlag {
+			report := struct {
+				Waivers []jsonWaiver `json:"waivers"`
+				Count   int          `json:"count"`
+			}{Waivers: []jsonWaiver{}, Count: len(waivers)}
+			for _, w := range waivers {
+				report.Waivers = append(report.Waivers, jsonWaiver{
+					File: relPath(w.Pos.Filename), Line: w.Pos.Line, Pass: w.Pass, Reason: w.Reason,
+				})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				fmt.Fprintf(os.Stderr, "malacolint: %v\n", err)
+				os.Exit(2)
+			}
+			return
+		}
+		for _, w := range waivers {
+			fmt.Printf("%s:%d: %s: %s\n", relPath(w.Pos.Filename), w.Pos.Line, w.Pass, w.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "malacolint: %d waiver(s)\n", len(waivers))
+		return
+	}
+
 	idx := analysis.NewIndex(pkgs)
 	var diags []analysis.Diagnostic
 	for _, pass := range selected {
@@ -82,11 +142,28 @@ func main() {
 	}
 	diags = analysis.ApplySuppressions(pkgs, diags)
 
-	for _, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	if *jsonFlag {
+		report := struct {
+			Findings []jsonFinding `json:"findings"`
+			Count    int           `json:"count"`
+		}{Findings: []jsonFinding{}, Count: len(diags)}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Pass: d.Pass, Message: d.Message,
+			})
 		}
-		fmt.Println(d)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "malacolint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relPath(d.Pos.Filename)
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "malacolint: %d finding(s)\n", len(diags))

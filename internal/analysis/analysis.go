@@ -2,10 +2,13 @@
 // domain-aware passes that machine-check Malacology's safety
 // invariants: epoch guards on object-store handlers, no locks held
 // across blocking fabric calls, no silently dropped errors on
-// consensus/storage paths, no sleep-as-synchronization, and no daemon
-// goroutines that can outlive their daemon. The cmd/malacolint driver
-// runs every pass over the repository; `make lint` wires it into the
-// CI gate.
+// consensus/storage paths, no sleep-as-synchronization, no daemon
+// goroutines that can outlive their daemon, mutex-guarded struct
+// fields only touched with their mutex held (fieldguard), goroutines
+// with a real termination path (goleak), and safe channel lifecycles —
+// no send-after-close, double-close, or spinning selects (chanlife).
+// The cmd/malacolint driver runs every pass over the repository;
+// `make lint` wires it into the CI gate.
 //
 // Findings are suppressed — auditable, never silent — with a comment on
 // the offending line or the line above:
@@ -53,6 +56,9 @@ func Passes() []*Pass {
 		NewErrDrop(),
 		NewSleepSync(RepoSleepAllowlist()),
 		NewCtxLeak(),
+		NewFieldGuard(),
+		NewGoLeak(),
+		NewChanLife(),
 	}
 }
 
@@ -177,13 +183,21 @@ type suppression struct {
 	pass string
 }
 
-// collectSuppressions scans a package's comments for //lint:ignore
-// markers. A marker covers its own line (trailing comment) and the line
-// below it (standalone comment). Malformed markers — missing pass or
-// missing reason — are reported as "lint" diagnostics so a suppression
+// Waiver is one well-formed //lint:ignore marker: the audited record
+// of a finding deliberately accepted. The waiver budget test and the
+// driver's -waivers mode enumerate these.
+type Waiver struct {
+	Pos    token.Position
+	Pass   string
+	Reason string
+}
+
+// parseMarkers scans a package's comments for //lint:ignore markers,
+// returning the well-formed waivers and a diagnostic for each
+// malformed marker — missing pass or missing reason — so a suppression
 // can never silently rot into a blanket waiver.
-func collectSuppressions(pkg *Package) (map[suppression]bool, []Diagnostic) {
-	sups := make(map[suppression]bool)
+func parseMarkers(pkg *Package) ([]Waiver, []Diagnostic) {
+	var waivers []Waiver
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -202,10 +216,44 @@ func collectSuppressions(pkg *Package) (map[suppression]bool, []Diagnostic) {
 					})
 					continue
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					sups[suppression{file: pos.Filename, line: line, pass: fields[0]}] = true
-				}
+				waivers = append(waivers, Waiver{
+					Pos:    pos,
+					Pass:   fields[0],
+					Reason: strings.Join(fields[1:], " "),
+				})
 			}
+		}
+	}
+	return waivers, bad
+}
+
+// Waivers returns every well-formed //lint:ignore marker in the loaded
+// packages, sorted by position.
+func Waivers(pkgs []*Package) []Waiver {
+	var out []Waiver
+	for _, pkg := range pkgs {
+		w, _ := parseMarkers(pkg)
+		out = append(out, w...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// collectSuppressions turns a package's markers into the (file, line,
+// pass) cover set. A marker covers its own line (trailing comment) and
+// the line below it (standalone comment).
+func collectSuppressions(pkg *Package) (map[suppression]bool, []Diagnostic) {
+	waivers, bad := parseMarkers(pkg)
+	sups := make(map[suppression]bool)
+	for _, w := range waivers {
+		for _, line := range []int{w.Pos.Line, w.Pos.Line + 1} {
+			sups[suppression{file: w.Pos.Filename, line: line, pass: w.Pass}] = true
 		}
 	}
 	return sups, bad

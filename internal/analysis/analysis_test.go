@@ -91,6 +91,12 @@ func TestSleepSync(t *testing.T) {
 
 func TestCtxLeak(t *testing.T) { runFixture(t, NewCtxLeak(), "ctxleak") }
 
+func TestFieldGuard(t *testing.T) { runFixture(t, NewFieldGuard(), "fieldguard") }
+
+func TestGoLeak(t *testing.T) { runFixture(t, NewGoLeak(), "goleak") }
+
+func TestChanLife(t *testing.T) { runFixture(t, NewChanLife(), "chanlife") }
+
 // TestMalformedSuppression: a reason-less marker suppresses nothing and
 // is itself reported, so suppressions cannot silently rot.
 func TestMalformedSuppression(t *testing.T) {
@@ -146,6 +152,46 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range ApplySuppressions(pkgs, diags) {
 		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestWaiverBudget pins the repository-wide waiver count: adding a
+// //lint:ignore marker anywhere means deliberately updating these
+// numbers in the same change, so the audited-exception budget can only
+// grow in review, never by accident. Every marker must also cite a
+// real analyzer, or it suppresses nothing and rots silently.
+func TestWaiverBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo load is not short")
+	}
+	const (
+		internalBudget = 10 // waivers in internal/ and cmd/
+		exampleBudget  = 4  // waivers in examples/ (sleep-paced demo loops)
+	)
+	pkgs, err := Load(moduleRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[string]bool)
+	for _, p := range Passes() {
+		known[p.Name] = true
+	}
+	var internalN, exampleN int
+	for _, w := range Waivers(pkgs) {
+		if !known[w.Pass] {
+			t.Errorf("%s:%d: waiver cites unknown analyzer %q (use -list)", w.Pos.Filename, w.Pos.Line, w.Pass)
+		}
+		if strings.Contains(filepath.ToSlash(w.Pos.Filename), "/examples/") {
+			exampleN++
+		} else {
+			internalN++
+		}
+	}
+	if internalN != internalBudget {
+		t.Errorf("internal waiver count = %d, budget %d: adding or removing a //lint:ignore means updating this budget deliberately (run malacolint -waivers for the list)", internalN, internalBudget)
+	}
+	if exampleN != exampleBudget {
+		t.Errorf("examples waiver count = %d, budget %d (run malacolint -waivers for the list)", exampleN, exampleBudget)
 	}
 }
 

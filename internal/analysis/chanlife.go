@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewChanLife builds the chanlife pass, three channel-lifecycle checks
+// over the daemon packages:
+//
+//   - a send reachable after a close of the same channel on the same
+//     path (send on closed channel panics);
+//   - a second close of a channel already closed on the path
+//     (double-close panics);
+//   - a `for { select { ... default: } }` loop whose default case
+//     neither blocks nor escapes — the loop spins a core instead of
+//     parking on its channels.
+//
+// The close tracking is flow-sensitive per function: branches are
+// scanned with a copy of the closed set, and closes made in a branch
+// that falls through (does not return/panic/branch away) flow back to
+// the code after it — closedness, unlike a lock, is sticky. Assigning a
+// fresh channel to the expression clears it (the close-and-replace
+// broadcast idiom). Function literals run on their own stack and are
+// scanned as independent roots.
+func NewChanLife() *Pass {
+	return &Pass{
+		Name: "chanlife",
+		Doc:  "no send after close, no double close, no spinning select with a non-blocking default",
+		Scope: inPackages(
+			"repro/internal/mon",
+			"repro/internal/mds",
+			"repro/internal/rados",
+			"repro/internal/paxos",
+			"repro/internal/zlog",
+		),
+		Run: runChanLife,
+	}
+}
+
+func runChanLife(pkg *Package, idx *Index) []Diagnostic {
+	s := &clScanner{pkg: pkg}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.scanRoot(fd.Body)
+		}
+	}
+	return s.diags
+}
+
+// clState maps a channel expression (as written) to the position of
+// the close that closed it on this path.
+type clState map[string]token.Pos
+
+func (s clState) clone() clState {
+	out := make(clState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+type clScanner struct {
+	pkg   *Package
+	diags []Diagnostic
+}
+
+func (s *clScanner) scanRoot(body *ast.BlockStmt) {
+	s.scanStmts(body.List, make(clState))
+	// Literals are separate goroutine/closure stacks with their own
+	// channel lifecycle; scan each as a fresh root.
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+			return false
+		}
+		return true
+	})
+	for _, fl := range lits {
+		s.scanRoot(fl.Body)
+	}
+}
+
+func (s *clScanner) scanStmts(list []ast.Stmt, st clState) {
+	for _, stmt := range list {
+		s.scanStmt(stmt, st)
+	}
+}
+
+// scanBranch scans a nested block with a copy of the state and merges
+// the branch's closes back unless the branch escapes (its last
+// statement returns, branches away, or panics): a close on a
+// fall-through path is visible to everything after the statement.
+func (s *clScanner) scanBranch(list []ast.Stmt, st clState) {
+	branch := st.clone()
+	s.scanStmts(list, branch)
+	if branchEscapes(list) {
+		return
+	}
+	for k, v := range branch {
+		if _, ok := st[k]; !ok {
+			st[k] = v
+		}
+	}
+}
+
+// branchEscapes reports whether control cannot fall out of the bottom
+// of the statement list.
+func branchEscapes(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch x := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *clScanner) scanStmt(stmt ast.Stmt, st clState) {
+	switch x := stmt.(type) {
+	case *ast.ExprStmt:
+		s.scanExpr(x.X, st)
+	case *ast.SendStmt:
+		s.scanExpr(x.Value, st)
+		key := types.ExprString(x.Chan)
+		if pos, ok := st[key]; ok {
+			s.diags = append(s.diags, Diagnostic{
+				Pos:  s.pkg.position(x.Arrow),
+				Pass: "chanlife",
+				Message: fmt.Sprintf("send on %s after it was closed at line %d (send on closed channel panics)",
+					key, s.pkg.position(pos).Line),
+			})
+		}
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.scanExpr(e, st)
+		}
+		// Assigning over the expression installs a fresh channel.
+		for _, e := range x.Lhs {
+			delete(st, types.ExprString(e))
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.scanExpr(e, st)
+		}
+	case *ast.IncDecStmt:
+		s.scanExpr(x.X, st)
+	case *ast.DeferStmt:
+		// defer close(ch) runs after every later statement in the
+		// function; it closes nothing on this path.
+		for _, e := range x.Call.Args {
+			if _, ok := e.(*ast.FuncLit); !ok {
+				s.scanExpr(e, st)
+			}
+		}
+	case *ast.GoStmt:
+		for _, e := range x.Call.Args {
+			if _, ok := e.(*ast.FuncLit); !ok {
+				s.scanExpr(e, st)
+			}
+		}
+	case *ast.BlockStmt:
+		s.scanStmts(x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		s.scanExpr(x.Cond, st)
+		s.scanBranch(x.Body.List, st)
+		switch e := x.Else.(type) {
+		case *ast.BlockStmt:
+			s.scanBranch(e.List, st)
+		case *ast.IfStmt:
+			s.scanStmt(e, st)
+		}
+	case *ast.ForStmt:
+		s.checkSpin(x)
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			s.scanExpr(x.Cond, st)
+		}
+		s.scanBranch(x.Body.List, st)
+	case *ast.RangeStmt:
+		s.scanExpr(x.X, st)
+		s.scanBranch(x.Body.List, st)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			s.scanExpr(x.Tag, st)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanBranch(cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanBranch(cc.Body, st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := st.clone()
+				if cc.Comm != nil {
+					s.scanStmt(cc.Comm, branch)
+				}
+				s.scanStmts(cc.Body, branch)
+				if !branchEscapes(cc.Body) {
+					for k, v := range branch {
+						if _, ok := st[k]; !ok {
+							st[k] = v
+						}
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		s.scanStmt(x.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanExpr finds close(ch) calls in evaluation position and updates or
+// checks the closed set. Literals are skipped (scanned as roots).
+func (s *clScanner) scanExpr(e ast.Expr, st clState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+			if !ok || id.Name != "close" || len(x.Args) != 1 {
+				return true
+			}
+			if _, isBuiltin := s.pkg.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+				return true
+			}
+			key := types.ExprString(x.Args[0])
+			if pos, ok := st[key]; ok {
+				s.diags = append(s.diags, Diagnostic{
+					Pos:  s.pkg.position(x.Pos()),
+					Pass: "chanlife",
+					Message: fmt.Sprintf("second close of %s (already closed at line %d; close of closed channel panics)",
+						key, s.pkg.position(pos).Line),
+				})
+			} else {
+				st[key] = x.Pos()
+			}
+		}
+		return true
+	})
+}
+
+// checkSpin flags `for { select { ...; default: } }` where the default
+// body neither blocks nor escapes the loop — the select never parks and
+// the loop burns a core.
+func (s *clScanner) checkSpin(loop *ast.ForStmt) {
+	if loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+		return
+	}
+	for _, stmt := range loop.Body.List {
+		sel, ok := stmt.(*ast.SelectStmt)
+		if !ok {
+			continue
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm != nil {
+				continue
+			}
+			if !defaultBlocksOrEscapes(s.pkg, cc.Body) {
+				s.diags = append(s.diags, Diagnostic{
+					Pos:     s.pkg.position(sel.Pos()),
+					Pass:    "chanlife",
+					Message: "select inside an unconditional loop has a default case that neither blocks nor exits: the loop spins instead of parking on its channels",
+				})
+			}
+		}
+	}
+}
+
+// defaultBlocksOrEscapes reports whether a select default body contains
+// something that paces or exits the loop: a return, a labeled branch
+// (an unlabeled break only leaves the select), a goto, a panic, a
+// channel operation, a nested select, or a time.Sleep.
+func defaultBlocksOrEscapes(pkg *Package, body []ast.Stmt) bool {
+	found := false
+	for _, stmt := range body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt, *ast.SendStmt, *ast.SelectStmt, *ast.RangeStmt:
+				found = true
+			case *ast.BranchStmt:
+				if x.Label != nil || x.Tok == token.GOTO {
+					found = true
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					found = true
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+					return false
+				}
+				if fn := Callee(pkg.Info, x); fn != nil {
+					switch fn.FullName() {
+					case "time.Sleep", "runtime.Gosched", "os.Exit":
+						// Gosched yields but still spins; only Sleep
+						// and Exit actually stop the burn. Count Sleep
+						// and Exit, keep flagging Gosched.
+						if fn.FullName() != "runtime.Gosched" {
+							found = true
+						}
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

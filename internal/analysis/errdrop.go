@@ -15,8 +15,8 @@ import (
 // this pass deliberately leaves bare expression statements alone).
 func NewErrDrop() *Pass {
 	p := &Pass{
-		Name:  "errdrop",
-		Doc:   "no _ = / x, _ := discards of error values in consensus and storage write paths",
+		Name: "errdrop",
+		Doc:  "no _ = / x, _ := discards of error values in consensus and storage write paths",
 		Scope: inPackages(
 			"repro/internal/paxos",
 			"repro/internal/mon",

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewGoLeak builds the goleak pass: every goroutine a daemon spawns
+// must have a termination path its owner controls — a stop channel, a
+// caller-scoped context, or a WaitGroup it signals. The pass is
+// stricter than ctxleak about what "a context" means: a context the
+// goroutine builds for itself from context.Background()/TODO() is a
+// timeout, not a shutdown path — Stop() cannot reach it — so such
+// contexts (and anything derived from them) do not count as evidence.
+// Evidence is searched cross-function through same-repo callees, with
+// context arguments tracked: a callee watching its ctx parameter only
+// counts when the call site passes a context the daemon controls.
+func NewGoLeak() *Pass {
+	return &Pass{
+		Name: "goleak",
+		Doc:  "spawned goroutines must have a reachable termination path: stop channel, caller-scoped context, or WaitGroup Done",
+		Scope: inPackages(
+			"repro/internal/mon",
+			"repro/internal/mds",
+			"repro/internal/rados",
+			"repro/internal/paxos",
+			"repro/internal/zlog",
+		),
+		Run: runGoLeak,
+	}
+}
+
+func runGoLeak(pkg *Package, idx *Index) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, bodyPkg := goTargetBody(pkg, idx, gs)
+			if body == nil {
+				return true
+			}
+			w := &leakWalker{idx: idx, visited: make(map[*ast.BlockStmt]bool)}
+			bad := badCtxIdents(bodyPkg, body, nil)
+			if !w.terminates(bodyPkg, body, bad, 0) {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.position(gs.Pos()),
+					Pass:    "goleak",
+					Message: "goroutine has no termination path its owner controls: no stop channel, caller-scoped context, or WaitGroup Done reachable (a context built here from context.Background does not stop with the daemon)",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+const leakCallDepth = 4
+
+type leakWalker struct {
+	idx     *Index
+	visited map[*ast.BlockStmt]bool
+}
+
+// badCtxIdents finds context identifiers in body that are derived from
+// context.Background()/context.TODO() — directly, or transitively
+// through another bad identifier. seed pre-marks objects (callee ctx
+// parameters fed a bad argument). Assignments are visited in source
+// order, which matches how derivation chains are written.
+func badCtxIdents(pkg *Package, body *ast.BlockStmt, seed map[types.Object]bool) map[types.Object]bool {
+	bad := make(map[types.Object]bool)
+	for o := range seed {
+		bad[o] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := Callee(pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch fn.FullName() {
+		case "context.WithTimeout", "context.WithDeadline", "context.WithCancel", "context.WithValue":
+		default:
+			return true
+		}
+		if !isBadCtxExpr(pkg, call.Args[0], bad) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pkg.Info.ObjectOf(id); obj != nil {
+				bad[obj] = true
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// isBadCtxExpr reports whether a context expression is rooted in
+// Background/TODO rather than anything the daemon's owner controls.
+func isBadCtxExpr(pkg *Package, e ast.Expr, bad map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.ObjectOf(x); obj != nil {
+			return bad[obj]
+		}
+	case *ast.CallExpr:
+		if fn := Callee(pkg.Info, x); fn != nil {
+			switch fn.FullName() {
+			case "context.Background", "context.TODO":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// terminates reports whether the body contains any owner-controlled
+// stop evidence, searching same-repo callees up to leakCallDepth deep.
+func (w *leakWalker) terminates(pkg *Package, body *ast.BlockStmt, bad map[types.Object]bool, depth int) bool {
+	if w.visited[body] {
+		return false
+	}
+	w.visited[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if stopChannelNames[x.Name] {
+				found = true
+				return false
+			}
+			if isContextType(pkg.Info.TypeOf(x)) {
+				if obj := pkg.Info.ObjectOf(x); obj != nil && !bad[obj] {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if stopChannelNames[x.Sel.Name] {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			fn := Callee(pkg.Info, x)
+			if fn == nil {
+				return true
+			}
+			if isWaitGroupDone(fn) {
+				found = true
+				return false
+			}
+			if depth >= leakCallDepth {
+				return true
+			}
+			fd, ok := w.idx.decls[fn.FullName()]
+			if !ok || fd.Decl.Body == nil {
+				return true
+			}
+			calleeBad := calleeBadParams(pkg, fd, x, bad)
+			if w.terminates(fd.Pkg, fd.Decl.Body, calleeBad, depth+1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeBadParams seeds the callee's bad-context set: every ctx-typed
+// parameter is bad unless the call site passes a context the caller
+// controls, then assignment chains inside the callee extend it.
+func calleeBadParams(callerPkg *Package, fd FuncDecl, call *ast.CallExpr, callerBad map[types.Object]bool) map[types.Object]bool {
+	seed := make(map[types.Object]bool)
+	params := flattenParams(fd)
+	args := call.Args
+	// Method values and calls through selectors still list only the
+	// explicit arguments; positional mapping is enough for our code.
+	for i, p := range params {
+		if !isContextType(fd.Pkg.Info.TypeOf(p.Type)) {
+			continue
+		}
+		good := false
+		if i < len(args) {
+			arg := ast.Unparen(args[i])
+			if isContextType(callerPkg.Info.TypeOf(arg)) && !isBadCtxExpr(callerPkg, arg, callerBad) {
+				// A plain Background()/TODO() argument is bad; a bad
+				// local ident is bad; everything else the caller owns.
+				if id, ok := arg.(*ast.Ident); !ok || !callerBad[callerPkg.Info.ObjectOf(id)] {
+					good = true
+				}
+			}
+		}
+		if !good && p.Name != nil {
+			if obj := fd.Pkg.Info.ObjectOf(p.Name); obj != nil {
+				seed[obj] = true
+			}
+		}
+	}
+	return badCtxIdents(fd.Pkg, fd.Decl.Body, seed)
+}
+
+type leakParam struct {
+	Name *ast.Ident
+	Type ast.Expr
+}
+
+func flattenParams(fd FuncDecl) []leakParam {
+	var out []leakParam
+	if fd.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, f := range fd.Decl.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, leakParam{Name: nil, Type: f.Type})
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, leakParam{Name: name, Type: f.Type})
+		}
+	}
+	return out
+}
+
+// isWaitGroupDone matches (*sync.WaitGroup).Done.
+func isWaitGroupDone(fn *types.Func) bool {
+	if fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,96 @@
+// Fixture for the goleak pass: a spawned goroutine must have a
+// termination path its owner controls — a stop channel, a caller-scoped
+// context, or a WaitGroup it signals. A context the goroutine builds
+// for itself from context.Background() is not one.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type daemon struct {
+	stopCh chan struct{}
+	events chan int
+	wg     sync.WaitGroup
+	n      int
+}
+
+// Bad: drains events forever with no way to stop it.
+func (d *daemon) spawnBad() {
+	go func() { // want "no termination path"
+		for v := range d.events {
+			d.n += v
+		}
+	}()
+}
+
+// Bad: the goroutine makes its own deadline from Background; the owner
+// cannot reach it, and the callee watching that context is no help.
+func (d *daemon) spawnSelfCtx() {
+	go func() { // want "no termination path"
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		d.call(ctx)
+	}()
+}
+
+func (d *daemon) call(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// pump has no stop signal; spawning it is the finding.
+func (d *daemon) pump() {
+	for v := range d.events {
+		d.n += v
+	}
+}
+
+// Bad: resolved through the named method.
+func (d *daemon) spawnNamedBad() {
+	go d.pump() // want "no termination path"
+}
+
+// Good: selects on the stop channel.
+func (d *daemon) spawnStop() {
+	go func() {
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			case v := <-d.events:
+				d.n += v
+			}
+		}
+	}()
+}
+
+// Good: a caller-scoped context is the owner's handle on the goroutine.
+func (d *daemon) spawnCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Good: WaitGroup-tracked; Stop's Wait joins it.
+func (d *daemon) spawnTracked() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for v := range d.events {
+			d.n += v
+		}
+	}()
+}
+
+func (d *daemon) waitStop() {
+	<-d.stopCh
+}
+
+// Good: the stop evidence is one call deep.
+func (d *daemon) spawnViaHelper() {
+	go func() {
+		d.waitStop()
+	}()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/stopctx"
 	"repro/internal/wire"
 )
 
@@ -123,7 +124,7 @@ func (s *Server) sendRecallLocked(ino *inode) {
 		s.mu.Unlock()
 		g.deliver()
 		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			ctx, cancel := stopctx.WithTimeout(s.stopCh, time.Second)
 			defer cancel()
 			s.monc.Log(ctx, "warn", "force-reclaimed cap on "+path+" from "+string(holder)) //nolint:errcheck
 		}()

@@ -52,19 +52,19 @@ type Client struct {
 	mons []int
 
 	mu        sync.Mutex
-	auth      map[string]int // path -> authoritative rank
-	caps      map[string]*capState
-	roundtrip map[string]bool // paths whose policy denies caching
+	auth      map[string]int       // guarded by mu; path -> authoritative rank
+	caps      map[string]*capState // guarded by mu
+	roundtrip map[string]bool      // guarded by mu; paths whose policy denies caching
 	// earlyRecall records recalls that raced ahead of their grant's
 	// response (the server recalls immediately when other clients wait,
 	// and the push can beat the grant reply over the fabric).
-	earlyRecall map[string]bool
-	mdsMap      *types.MDSMap
+	earlyRecall map[string]bool // guarded by mu
+	mdsMap      *types.MDSMap   // guarded by mu
 
 	// LocalOps counts operations served from a cached capability;
 	// benchmark instrumentation for Figures 5-7.
-	localOps  int64
-	remoteOps int64
+	localOps  int64 // guarded by mu
+	remoteOps int64 // guarded by mu
 }
 
 // NewClient builds a session identified as self.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/rados"
+	"repro/internal/stopctx"
 	"repro/internal/types"
 )
 
@@ -111,7 +112,7 @@ func (s *Server) checkTakeover(m *types.MDSMap) {
 
 // takeover adopts a failed rank's namespace.
 func (s *Server) takeover(rank int) {
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := stopctx.WithTimeout(s.stopCh, 10*time.Second)
 	defer cancel()
 	recovered, err := s.replayJournal(ctx, rank)
 	if err != nil {

@@ -88,16 +88,16 @@ type Server struct {
 	rc   *rados.Client
 
 	mu       sync.Mutex
-	inodes   map[string]*inode
-	forward  map[string]int // proxy-mode forwarding: path -> rank
-	redirect map[string]int // client-mode redirect: path -> rank
-	mdsMap   *types.MDSMap
-	ops      int64 // requests handled since last balance tick
+	inodes   map[string]*inode // guarded by mu
+	forward  map[string]int    // guarded by mu; proxy-mode forwarding: path -> rank
+	redirect map[string]int    // guarded by mu; client-mode redirect: path -> rank
+	mdsMap   *types.MDSMap     // guarded by mu
+	ops      int64             // guarded by mu; requests handled since last balance tick
 	// balancerErr remembers the last policy failure for introspection.
-	balancerErr error
+	balancerErr error // guarded by mu
 
-	cpuMu   sync.Mutex // serializes simulated CPU work
-	cpuDebt time.Duration
+	cpuMu   sync.Mutex    // serializes simulated CPU work
+	cpuDebt time.Duration // guarded by cpuMu
 
 	stopOnce sync.Once
 	stopCh   chan struct{}

@@ -145,14 +145,14 @@ type Monitor struct {
 	px  *paxos.Node
 
 	mu          sync.Mutex
-	osdMap      *types.OSDMap
-	mdsMap      *types.MDSMap
-	log         []LogEntry
-	logSeq      int
-	pending     []pendingUpdate
-	subscribers map[wire.Addr]map[string]bool
-	validators  []Validator
-	lastBeacon  map[string]time.Time // "kind.id" -> last report
+	osdMap      *types.OSDMap                 // guarded by mu
+	mdsMap      *types.MDSMap                 // guarded by mu
+	log         []LogEntry                    // guarded by mu
+	logSeq      int                           // guarded by mu
+	pending     []pendingUpdate               // guarded by mu
+	subscribers map[wire.Addr]map[string]bool // guarded by mu
+	validators  []Validator                   // guarded by mu
+	lastBeacon  map[string]time.Time          // guarded by mu; "kind.id" -> last report
 	// commitWait maps a batch fingerprint to the updates awaiting it; we
 	// simply signal the pending set attached to each proposal.
 
@@ -536,6 +536,7 @@ func (m *Monitor) pushMap(kind string, n MapNotify, subs []subscription, fanout 
 }
 
 // applyOp folds one op into the maps; returns which maps changed.
+// Caller holds m.mu.
 func (m *Monitor) applyOp(source string, op types.Op) (osd, mds bool) {
 	switch op.Code {
 	case types.OpOSDBoot:

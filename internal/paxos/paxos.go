@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/stopctx"
 )
 
 // NodeID identifies a Paxos participant (monitor rank).
@@ -122,15 +124,15 @@ type Node struct {
 	apply func(slot uint64, value []byte)
 
 	mu         sync.Mutex
-	promised   Ballot
-	accepted   map[uint64]AcceptedValue
-	chosen     map[uint64][]byte
-	nextApply  uint64 // first slot not yet delivered to apply
-	leading    bool
-	ballot     Ballot // leader ballot when leading
-	nextSlot   uint64 // next free slot when leading
-	lastLeader time.Time
-	leaderHint NodeID
+	promised   Ballot                   // guarded by mu
+	accepted   map[uint64]AcceptedValue // guarded by mu
+	chosen     map[uint64][]byte        // guarded by mu
+	nextApply  uint64                   // guarded by mu; first slot not yet delivered to apply
+	leading    bool                     // guarded by mu
+	ballot     Ballot                   // guarded by mu; leader ballot when leading
+	nextSlot   uint64                   // guarded by mu; next free slot when leading
+	lastLeader time.Time                // guarded by mu
+	leaderHint NodeID                   // guarded by mu
 
 	applyMu sync.Mutex // serializes apply callbacks in slot order
 
@@ -254,8 +256,10 @@ func (n *Node) sendHeartbeats() {
 			continue
 		}
 		p := p
+		n.wg.Add(1)
 		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatInterval*2)
+			defer n.wg.Done()
+			ctx, cancel := stopctx.WithTimeout(n.stopCh, n.cfg.HeartbeatInterval*2)
 			defer cancel()
 			//lint:ignore errdrop heartbeats are liveness hints; a follower that misses them calls its own election
 			_, _ = n.t.Call(ctx, p, msg)
@@ -401,7 +405,7 @@ func (n *Node) commitSlot(ctx context.Context, slot uint64, value []byte) error 
 		}
 		p := p
 		go func() {
-			lctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			lctx, cancel := stopctx.WithTimeout(n.stopCh, time.Second)
 			defer cancel()
 			//lint:ignore errdrop learn pushes are an optimization; a peer that misses one catches up from the chosen frontier in the next heartbeat
 			_, _ = n.t.Call(lctx, p, learn)
@@ -568,7 +572,7 @@ func (n *Node) fetchFrom(peer NodeID) {
 	n.mu.Lock()
 	from := n.firstUnchosenLocked()
 	n.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	ctx, cancel := stopctx.WithTimeout(n.stopCh, time.Second)
 	defer cancel()
 	r, err := n.t.Call(ctx, peer, Msg{Type: MsgFetch, From: n.t.Self(), Slot: from})
 	if err != nil || !r.OK {

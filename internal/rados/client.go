@@ -22,12 +22,12 @@ type Client struct {
 	monc *mon.Client
 
 	mu     sync.Mutex
-	osdMap *types.OSDMap
+	osdMap *types.OSDMap // guarded by mu
 
 	// watch/notify state (see watch.go).
-	watches   map[uint64]*WatchHandle
-	watchSeq  uint64
-	listening bool
+	watches   map[uint64]*WatchHandle // guarded by mu
+	watchSeq  uint64                  // guarded by mu
+	listening bool                    // guarded by mu
 }
 
 // NewClient builds a client identified as self on the fabric.

@@ -100,16 +100,16 @@ func (o *Object) OmapKeysSorted(prefix string) []string {
 // than your copy".
 type objEntry struct {
 	mu  sync.Mutex
-	obj *Object // nil = tombstone (removed or never created)
+	obj *Object // guarded by mu; nil = tombstone (removed or never created)
 	// ver is the authoritative mutation counter for this name. It is
 	// mirrored into obj.Version while the object exists and survives
 	// tombstoning so the per-object order is total across the object's
 	// whole lifetime.
-	ver uint64
+	ver uint64 // guarded by mu
 	// applied is closed and replaced on every state change; replica
 	// appliers holding an out-of-order forward wait on it for the
 	// preceding mutation to land.
-	applied chan struct{}
+	applied chan struct{} // guarded by mu
 }
 
 // signalLocked wakes version-order waiters. Caller holds e.mu.
@@ -146,7 +146,7 @@ func (e *objEntry) materializeLocked(name string) *Object {
 type pg struct {
 	mu      sync.Mutex
 	id      PGID
-	objects map[string]*objEntry
+	objects map[string]*objEntry // guarded by mu
 	// admit is the serial-baseline admission token: ReplicateSerial
 	// allows one operation per PG at a time by holding this token (not a
 	// mutex) across its apply+replicate window.

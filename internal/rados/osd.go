@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/mon"
+	"repro/internal/stopctx"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -73,19 +74,19 @@ type OSD struct {
 	net      *wire.Network
 	monc     *mon.Client
 	rt       *classRuntime
-	rng      *rand.Rand
-	rngMu    sync.Mutex // guards rng alone, so gossip never contends with o.mu
+	rng      *rand.Rand // guarded by rngMu alone, so gossip never contends with o.mu
+	rngMu    sync.Mutex
 	watchers *watcherTable
 
 	mu     sync.Mutex
-	osdMap *types.OSDMap
-	pgs    map[PGID]*pg
+	osdMap *types.OSDMap // guarded by mu
+	pgs    map[PGID]*pg  // guarded by mu
 	// classLive tracks the highest class version made live, for the
 	// propagation-latency instrumentation (Figure 8).
-	classLive   map[string]uint64
-	onClassLive func(name string, version uint64)
+	classLive   map[string]uint64                 // guarded by mu
+	onClassLive func(name string, version uint64) // guarded by mu
 
-	scrubRepairs int
+	scrubRepairs int // guarded by mu
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -396,8 +397,10 @@ func (o *OSD) gossipOnce() {
 	}
 	for _, peer := range candidates[:n] {
 		peer := peer
+		o.wg.Add(1)
 		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), o.cfg.GossipInterval*4)
+			defer o.wg.Done()
+			ctx, cancel := stopctx.WithTimeout(o.stopCh, o.cfg.GossipInterval*4)
 			defer cancel()
 			resp, err := o.net.Call(ctx, o.Addr(), OSDAddr(peer), gossipMsg{From: o.cfg.ID, Epoch: o.Epoch()})
 			if err != nil {

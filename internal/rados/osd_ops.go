@@ -210,8 +210,8 @@ func waitApplied(ctx context.Context, ch <-chan struct{}, deadline time.Time) bo
 	}
 }
 
-// applyOp executes one op against the object's slot (held locked by the
-// caller). Returns the reply and whether object state changed (drives
+// applyOp executes one op against the object's slot. Caller holds e.mu.
+// Returns the reply and whether object state changed (drives
 // replication). Read replies alias stored slices — safe under the
 // copy-on-write discipline documented on Object.
 func (o *OSD) applyOp(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, bool) {
@@ -324,6 +324,7 @@ func (o *OSD) applyOp(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, boo
 // directly on the live object under its slot lock with an undo log, so
 // an abort rolls back in time proportional to the state touched rather
 // than the object's size (ZLog stripe objects grow without bound).
+// Caller holds e.mu.
 func (o *OSD) applyCall(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, bool) {
 	if o.rt.isNative(req.Class) {
 		return o.applyNativeCall(e, req)
@@ -354,7 +355,8 @@ func (o *OSD) applyCall(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, b
 }
 
 // applyNativeCall runs a compiled-in method on a clone, swapping it in
-// only when the method succeeds and actually changed state.
+// only when the method succeeds and actually changed state. Caller
+// holds e.mu.
 func (o *OSD) applyNativeCall(e *objEntry, req OpRequest) (OpReply, bool) {
 	var work *Object
 	var preDigest uint64

@@ -1,0 +1,30 @@
+// Package stopctx bridges the daemons' stop-channel shutdown signal to
+// the context plumbing the fabric uses. Fire-and-forget daemon
+// goroutines (gossip fan-out, heartbeat pushes, learn pushes, takeover)
+// used to create bounded contexts from context.Background(), which
+// meant Stop() could not interrupt their in-flight calls: the daemon
+// returned from Stop while its goroutines were still touching the
+// fabric. WithTimeout keeps the bounded timeout but also cancels the
+// moment the stop channel closes, so shutdown actually reaches the
+// call.
+package stopctx
+
+import (
+	"context"
+	"time"
+)
+
+// WithTimeout returns a context cancelled after d, when the returned
+// CancelFunc runs, or as soon as stop closes — whichever happens first.
+// Callers must call the CancelFunc, exactly as with context.WithTimeout.
+func WithTimeout(stop <-chan struct{}, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}

@@ -62,9 +62,9 @@ type endpointStat struct {
 // NewNetwork.
 type Network struct {
 	mu         sync.RWMutex
-	endpoints  map[Addr]Handler
-	partitions map[[2]Addr]bool
-	latency    time.Duration
+	endpoints  map[Addr]Handler // guarded by mu
+	partitions map[[2]Addr]bool // guarded by mu
+	latency    time.Duration    // set by Options before the network is shared
 	jitter     time.Duration
 	dropRate   float64
 	rng        *rand.Rand
@@ -76,7 +76,7 @@ type Network struct {
 	refused atomic.Uint64
 
 	outMu    sync.Mutex
-	outbound map[Addr]*endpointStat
+	outbound map[Addr]*endpointStat // guarded by outMu
 }
 
 // Option configures a Network.
