@@ -2,6 +2,13 @@
 // machine-readable JSON summary. It exists so benchmark numbers land in
 // version control (BENCH_pr2.json) instead of scrollback: `make
 // bench-json` pipes the serial-vs-batched append benchmarks through it.
+//
+// With -compare old.json it instead acts as a regression gate: the
+// fresh run's speedup_* metrics must not fall below the committed
+// baseline's by more than -tolerance (a fraction; 0.30 means a 30%
+// drop fails). Only the derived speedup ratios are compared — raw
+// ns/op moves with machine load, but the serial-vs-optimized ratio on
+// the same host is stable.
 package main
 
 import (
@@ -113,9 +120,103 @@ func run(in io.Reader, outPath string) error {
 	return os.WriteFile(outPath, buf, 0o644)
 }
 
+// metric is one named speedup ratio extracted from a Summary.
+type metric struct {
+	name string
+	val  float64
+}
+
+func speedups(s Summary) []metric {
+	var out []metric
+	if s.SpeedupBatchOverSerial > 0 {
+		out = append(out, metric{"speedup_batch_over_serial", s.SpeedupBatchOverSerial})
+	}
+	if s.SpeedupPipelinedOverSerial > 0 {
+		out = append(out, metric{"speedup_pipelined_over_serial", s.SpeedupPipelinedOverSerial})
+	}
+	return out
+}
+
+// Compare checks the fresh summary's speedup metrics against a
+// committed baseline: each metric present in the baseline must also be
+// present fresh and satisfy fresh >= old*(1-tolerance). It returns one
+// report line per compared metric and an error naming the first
+// regression.
+func Compare(fresh, baseline Summary, tolerance float64) ([]string, error) {
+	base := make(map[string]float64)
+	for _, m := range speedups(baseline) {
+		base[m.name] = m.val
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("benchjson: baseline has no speedup metrics to compare")
+	}
+	got := make(map[string]float64)
+	for _, m := range speedups(fresh) {
+		got[m.name] = m.val
+	}
+	var lines []string
+	var failure error
+	for _, m := range speedups(baseline) {
+		cur, ok := got[m.name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("FAIL %s: baseline %.2fx, fresh run is missing the metric", m.name, m.val))
+			if failure == nil {
+				failure = fmt.Errorf("benchjson: %s missing from fresh run", m.name)
+			}
+			continue
+		}
+		floor := m.val * (1 - tolerance)
+		verdict := "ok  "
+		if cur < floor {
+			verdict = "FAIL"
+			if failure == nil {
+				failure = fmt.Errorf("benchjson: %s regressed: %.2fx < floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+					m.name, cur, floor, m.val, tolerance*100)
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%s %s: %.2fx vs baseline %.2fx (floor %.2fx)",
+			verdict, m.name, cur, m.val, floor))
+	}
+	return lines, failure
+}
+
+// runCompare parses fresh bench output from in and gates it against the
+// baseline JSON at oldPath.
+func runCompare(in io.Reader, oldPath string, tolerance float64, report io.Writer) error {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return fmt.Errorf("benchjson: read baseline: %w", err)
+	}
+	var baseline Summary
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("benchjson: parse baseline %s: %w", oldPath, err)
+	}
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	lines, failure := Compare(Summarize(results), baseline, tolerance)
+	for _, l := range lines {
+		fmt.Fprintln(report, l)
+	}
+	return failure
+}
+
 func main() {
 	out := flag.String("out", "-", "output file (- for stdout)")
+	compare := flag.String("compare", "", "baseline JSON; gate fresh bench output against it instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional drop in speedup metrics vs the baseline")
 	flag.Parse()
+	if *compare != "" {
+		if err := runCompare(os.Stdin, *compare, *tolerance, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

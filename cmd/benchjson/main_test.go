@@ -80,3 +80,84 @@ func TestSummarizePipelinedSpeedup(t *testing.T) {
 		t.Fatalf("batch speedup = %f, want 0 (append benches absent)", s.SpeedupBatchOverSerial)
 	}
 }
+
+// summaryFrom builds a Summary from raw (serial, batch) ns/op pairs.
+func summaryFrom(t *testing.T, serialNs, batchNs float64) Summary {
+	t.Helper()
+	return Summarize([]Result{
+		{Name: "ZLogAppendSerial", Iters: 100, NsPerOp: serialNs},
+		{Name: "ZLogAppendBatch", Iters: 100, NsPerOp: batchNs},
+	})
+}
+
+// TestCompareFlagsInjectedSlowdown is the regression-gate fixture the
+// acceptance criteria name: a deliberately injected 2x slowdown of the
+// optimized path must fail the 30%-tolerance comparison, while the
+// unchanged run passes.
+func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	baseline := summaryFrom(t, 4_600_000, 96_000) // ~47.9x
+	same := summaryFrom(t, 4_600_000, 97_000)     // ~47.4x: within tolerance
+	lines, err := Compare(same, baseline, 0.30)
+	if err != nil {
+		t.Fatalf("unchanged run failed the gate: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ok  ") {
+		t.Fatalf("report lines = %q", lines)
+	}
+
+	// Inject a 2x slowdown into the batched path: speedup halves, which
+	// is far below the 30% floor.
+	slow := summaryFrom(t, 4_600_000, 192_000)
+	lines, err = Compare(slow, baseline, 0.30)
+	if err == nil {
+		t.Fatalf("2x slowdown passed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(err.Error(), "speedup_batch_over_serial regressed") {
+		t.Fatalf("error %q does not name the regressed metric", err)
+	}
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "FAIL") {
+		t.Fatalf("report lines = %q", lines)
+	}
+}
+
+// TestCompareMissingMetric pins the gate's behavior when the fresh run
+// dropped a benchmark the baseline carries.
+func TestCompareMissingMetric(t *testing.T) {
+	baseline := summaryFrom(t, 4_600_000, 96_000)
+	fresh := Summarize([]Result{{Name: "ZLogAppendSerial", Iters: 100, NsPerOp: 4_600_000}})
+	_, err := Compare(fresh, baseline, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, want missing-metric failure", err)
+	}
+}
+
+// TestCompareEmptyBaseline rejects baselines with nothing to gate on
+// (a corrupt or hand-edited file should not silently pass).
+func TestCompareEmptyBaseline(t *testing.T) {
+	_, err := Compare(summaryFrom(t, 100, 10), Summary{}, 0.30)
+	if err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}
+
+// TestCompareBothMetrics covers a baseline carrying both speedup pairs,
+// with only one regressing.
+func TestCompareBothMetrics(t *testing.T) {
+	both := func(batchNs, pipeNs float64) Summary {
+		return Summarize([]Result{
+			{Name: "ZLogAppendSerial", Iters: 1, NsPerOp: 4_800_000},
+			{Name: "ZLogAppendBatch", Iters: 1, NsPerOp: batchNs},
+			{Name: "RadosWriteSerial", Iters: 1, NsPerOp: 1_200_000},
+			{Name: "RadosWritePipelined", Iters: 1, NsPerOp: pipeNs},
+		})
+	}
+	baseline := both(96_000, 184_000)
+	fresh := both(98_000, 500_000) // pipelined speedup collapses
+	lines, err := Compare(fresh, baseline, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "speedup_pipelined_over_serial") {
+		t.Fatalf("err = %v, want pipelined regression", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("report lines = %q, want one per metric", lines)
+	}
+}

@@ -1,0 +1,82 @@
+// Command chaos runs the cluster-wide fault-injection harness. Each
+// scenario boots a full deployment, injects a seeded fault script under
+// client load, and audits the global invariants after heal; the run is
+// reproducible from (scenario, seed).
+//
+//	chaos -scenario all -seed 1
+//	chaos -scenario sequencer-failover -seed 7 -v
+//	chaos -list
+//
+// On an invariant violation the process prints the violations plus the
+// exact repro command, writes the full report to -artifact (if set),
+// and exits nonzero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "scenario name, or 'all' to run every registered scenario")
+	seed := flag.Int64("seed", 1, "fault-plan seed; same (scenario, seed) replays the same run")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	artifact := flag.String("artifact", "", "on failure, write the full report here (CI uploads it)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-scenario wall-clock budget")
+	verbose := flag.Bool("v", false, "stream the event log while running")
+	flag.Parse()
+
+	if *list {
+		for _, name := range chaos.Scenarios() {
+			fmt.Printf("%-24s %s\n", name, chaos.Describe(name))
+		}
+		return
+	}
+
+	names := []string{*scenario}
+	if *scenario == "all" {
+		names = chaos.Scenarios()
+	}
+
+	failed := false
+	for _, name := range names {
+		opts := chaos.Options{Scenario: name, Seed: *seed}
+		if *verbose {
+			opts.Out = os.Stderr
+		}
+		fmt.Printf("=== chaos %s seed=%d\n", name, *seed)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		start := time.Now()
+		res, err := chaos.Run(ctx, opts)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		if res.Failed() {
+			failed = true
+			fmt.Printf("--- FAIL %s (%.1fs)\n", name, time.Since(start).Seconds())
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+			fmt.Printf("    repro: %s\n", res.ReproCommand())
+			if *artifact != "" {
+				if werr := os.WriteFile(*artifact, []byte(res.Report()), 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "chaos: write artifact: %v\n", werr)
+				} else {
+					fmt.Printf("    report: %s\n", *artifact)
+				}
+			}
+			continue
+		}
+		fmt.Printf("--- ok   %s (%.1fs, %d events)\n", name, time.Since(start).Seconds(), len(res.Events))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,388 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/mds"
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+	"repro/internal/zlog"
+)
+
+// The invariant checkers run after the scenario's faults heal. Each
+// records a "check: ok" event or a violation; the set of checks a
+// scenario runs is part of its deterministic plan.
+
+// checkEpochsConverge waits until every OSD has caught up to the
+// monitor's current map epoch — the "restarted daemon rejoins gossip
+// and picks up the current map" acceptance, and the precondition for a
+// safe scrub pass (a daemon scrubbing under a stale map could push
+// stale authoritative copies).
+func (r *run) checkEpochsConverge(ctx context.Context, monc *mon.Client) bool {
+	const check = "epochs-converge"
+	mctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	m, err := monc.GetOSDMap(mctx)
+	cancel()
+	if err != nil {
+		r.fail(check, fmt.Sprintf("cannot fetch monitor map: %v", err))
+		return false
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		behind := ""
+		for _, o := range r.cl.OSDs {
+			if o.Epoch() < m.Epoch {
+				behind = fmt.Sprintf("%s at epoch %d < monitor epoch %d", o.Addr(), o.Epoch(), m.Epoch)
+				break
+			}
+		}
+		if behind == "" {
+			r.pass(check)
+			return true
+		}
+		if time.Now().After(deadline) {
+			r.fail(check, behind)
+			return false
+		}
+		pause(ctx, 10*time.Millisecond)
+	}
+}
+
+// checkReplicasConverge drives synchronous scrub passes until two
+// consecutive passes repair nothing: after heal and backfill, every
+// replica of every placement group must hold identical data.
+func (r *run) checkReplicasConverge(ctx context.Context) {
+	const check = "replicas-converge"
+	clean, last := 0, 0
+	for round := 0; round < 80; round++ {
+		repairs := 0
+		for _, o := range r.cl.OSDs {
+			repairs += o.ScrubNow()
+		}
+		last = repairs
+		if repairs == 0 {
+			clean++
+			if clean >= 2 {
+				r.pass(check)
+				return
+			}
+		} else {
+			clean = 0
+		}
+		pause(ctx, 20*time.Millisecond)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	r.fail(check, fmt.Sprintf("scrub never reached quiescence; last pass repaired %d replicas", last))
+}
+
+// checkRadosDurable verifies every acknowledged object write: the final
+// object state must be the last acked payload, or one of the payloads
+// attempted after it (an attempt whose ack was lost may have landed —
+// what is forbidden is regressing to anything older than the last ack).
+func (r *run) checkRadosDurable(ctx context.Context, writers ...*radosWriter) {
+	const check = "writes-durable"
+	bad := ""
+	total := 0
+	for _, w := range writers {
+		w.mu.Lock()
+		acked := make(map[string]string, len(w.acked))
+		pending := make(map[string][]string, len(w.pending))
+		for k, v := range w.acked {
+			acked[k] = v
+		}
+		for k, v := range w.pending {
+			pending[k] = append([]string(nil), v...)
+		}
+		w.mu.Unlock()
+
+		for _, obj := range sortedKeys(acked) {
+			total++
+			cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			got, err := w.rc.Read(cctx, w.pool, obj)
+			cancel()
+			if err != nil {
+				bad = fmt.Sprintf("%s/%s: acked write unreadable: %v", w.pool, obj, err)
+				break
+			}
+			ok := string(got) == acked[obj]
+			for _, p := range pending[obj] {
+				if string(got) == p {
+					ok = true
+				}
+			}
+			if !ok {
+				bad = fmt.Sprintf("%s/%s = %q, want last ack %q (or a later attempt)", w.pool, obj, got, acked[obj])
+				break
+			}
+		}
+		if bad != "" {
+			break
+		}
+	}
+	if bad != "" {
+		r.fail(check, bad)
+		return
+	}
+	if total == 0 {
+		r.fail(check, "workload acked no writes; scenario cannot vouch for durability")
+		return
+	}
+	r.pass(check)
+}
+
+// checkAppendsDurable verifies the shared-log contract for every
+// acknowledged append: its position holds exactly the acked payload,
+// and no two acks (across all appenders) share a position. Position
+// order is NOT compared against ack order: CORFU's sequencer is an
+// optimization, and after a force-reclaim it may legally hand out
+// earlier unwritten holes — write-once storage is what keeps acked
+// entries immovable.
+func (r *run) checkAppendsDurable(ctx context.Context, l *zlog.Log, appenders ...*zlogAppender) {
+	const check = "appends-durable"
+	seen := make(map[uint64]string)
+	var recs []appendRec
+	for _, a := range appenders {
+		a.mu.Lock()
+		recs = append(recs, a.acked...)
+		a.mu.Unlock()
+	}
+	if len(recs) == 0 {
+		r.fail(check, "workload acked no appends; scenario cannot vouch for the log")
+		return
+	}
+	for _, rec := range recs {
+		if prev, dup := seen[rec.pos]; dup {
+			r.fail(check, fmt.Sprintf("position %d acked twice (%q and %q)", rec.pos, prev, rec.payload))
+			return
+		}
+		seen[rec.pos] = rec.payload
+		cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		got, err := l.Read(cctx, rec.pos)
+		cancel()
+		if err != nil {
+			r.fail(check, fmt.Sprintf("acked append at %d unreadable: %v", rec.pos, err))
+			return
+		}
+		if string(got) != rec.payload {
+			r.fail(check, fmt.Sprintf("position %d = %q, want acked %q", rec.pos, got, rec.payload))
+			return
+		}
+	}
+	r.pass(check)
+}
+
+// checkServiceMetaDurable verifies every acknowledged service-metadata
+// commit is present in the final cluster map (retrying briefly so
+// followers catch up after heal).
+func (r *run) checkServiceMetaDurable(ctx context.Context, monc *mon.Client, w *metaWriter) {
+	const check = "service-meta-durable"
+	w.mu.Lock()
+	acked := make(map[string]string, len(w.acked))
+	for k, v := range w.acked {
+		acked[k] = v
+	}
+	w.mu.Unlock()
+	if len(acked) == 0 {
+		r.fail(check, "workload acked no commits; scenario cannot vouch for the quorum")
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		m, err := monc.GetOSDMap(cctx)
+		cancel()
+		missing := ""
+		if err != nil {
+			missing = fmt.Sprintf("cannot fetch map: %v", err)
+		} else {
+			for _, k := range sortedKeys(acked) {
+				if got, ok := m.Service[k]; !ok || got != acked[k] {
+					missing = fmt.Sprintf("acked key %s=%s missing from final map (got %q)", k, acked[k], got)
+					break
+				}
+			}
+		}
+		if missing == "" {
+			r.pass(check)
+			return
+		}
+		if time.Now().After(deadline) {
+			r.fail(check, missing)
+			return
+		}
+		pause(ctx, 20*time.Millisecond)
+	}
+}
+
+// publishedEpoch reads the log's epoch from the service metadata — the
+// cluster-wide truth recovery publishes, independent of any client's
+// cache.
+func publishedEpoch(ctx context.Context, monc *mon.Client, name string) (uint64, error) {
+	m, err := monc.GetOSDMap(ctx)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := m.Service[zlog.EpochKey(name)]
+	if !ok {
+		return 0, fmt.Errorf("no epoch key for log %s", name)
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+// checkSealedEpochRejects probes the seal discipline directly: after a
+// recovery published epoch E, a write tagged E-1 (a stale client that
+// missed the recovery) must be rejected ESTALE by the storage class. If
+// recovery skipped sealing, the stale write lands — the lost-update bug
+// CORFU's seal exists to prevent.
+func (r *run) checkSealedEpochRejects(ctx context.Context, rc *rados.Client, monc *mon.Client, l *zlog.Log, pool, name string, width int) {
+	const check = "sealed-epoch-rejects"
+	ep, err := publishedEpoch(ctx, monc, name)
+	if err != nil {
+		r.fail(check, fmt.Sprintf("cannot read published epoch: %v", err))
+		return
+	}
+	if ep < 2 {
+		r.fail(check, fmt.Sprintf("published epoch %d: no recovery happened before the probe", ep))
+		return
+	}
+	tail, err := l.Tail(ctx)
+	if err != nil {
+		tail = 0 // probe far beyond any plausible tail instead
+	}
+	// A stripe-0-aligned position far past the tail: guaranteed unwritten,
+	// so only the epoch guard can reject it.
+	probe := (tail/uint64(width) + 1024) * uint64(width)
+	input := fmt.Sprintf("%d:%d:stale-probe", ep-1, probe)
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	_, err = rc.Call(cctx, pool, name+".0", zlog.ClassName, "write", []byte(input))
+	cancel()
+	switch {
+	case errors.Is(err, rados.ErrStale):
+		r.pass(check)
+	case err == nil:
+		r.fail(check, fmt.Sprintf("stale-epoch write (epoch %d, sealed epoch %d) was ACCEPTED at position %d", ep-1, ep, probe))
+	default:
+		r.fail(check, fmt.Sprintf("stale-epoch probe failed with %v, want ErrStale", err))
+	}
+}
+
+// ValidateCapHistory replays one MDS rank's capability transition log
+// and reports the first point where two clients would have held the
+// same inode's exclusive capability concurrently (or a release came
+// from a non-holder). A nil error means the history is a legal
+// alternation per inode.
+func ValidateCapHistory(events []mds.CapEvent) error {
+	holder := make(map[string]string)
+	for i, ev := range events {
+		switch ev.Kind {
+		case "grant":
+			if h := holder[ev.Path]; h != "" {
+				return fmt.Errorf("event %d: cap on %s granted to %s while %s still holds it", i, ev.Path, ev.Client, h)
+			}
+			holder[ev.Path] = string(ev.Client)
+		case "release":
+			if holder[ev.Path] != string(ev.Client) {
+				return fmt.Errorf("event %d: cap on %s released by %s, holder is %q", i, ev.Path, ev.Client, holder[ev.Path])
+			}
+			holder[ev.Path] = ""
+		default:
+			return fmt.Errorf("event %d: unknown cap event kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// checkCapHistories audits every MDS rank's grant/release log: the
+// lease system must never have two concurrent sequencer holders on one
+// rank's authority.
+func (r *run) checkCapHistories() {
+	const check = "single-cap-holder"
+	for _, s := range r.cl.MDSs {
+		if err := ValidateCapHistory(s.CapHistory()); err != nil {
+			r.fail(check, fmt.Sprintf("mds rank %d: %v", s.Rank(), err))
+			return
+		}
+	}
+	r.pass(check)
+}
+
+// mapWatcher polls cluster-map epochs during the run and records any
+// regression: each daemon's epoch, and each individual monitor's
+// serving epoch, must be non-decreasing.
+type mapWatcher struct {
+	r         *run
+	lastMon   []types.Epoch
+	lastMDS   []types.Epoch
+	lastOSD   []types.Epoch
+	stop      chan struct{}
+	done      chan struct{}
+	regressed []string
+}
+
+// watchMaps starts the watcher; call finish() after the scenario's
+// workloads stop to fold its verdict into the run.
+func (r *run) watchMaps() *mapWatcher {
+	w := &mapWatcher{
+		r:       r,
+		lastMon: make([]types.Epoch, len(r.cl.Mons)),
+		lastMDS: make([]types.Epoch, len(r.cl.Mons)),
+		lastOSD: make([]types.Epoch, len(r.cl.OSDs)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *mapWatcher) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.r.ctx.Done():
+			return
+		default:
+		}
+		for i, o := range w.r.cl.OSDs {
+			e := o.Epoch()
+			if e < w.lastOSD[i] {
+				w.regressed = append(w.regressed, fmt.Sprintf("%s map epoch regressed %d -> %d", o.Addr(), w.lastOSD[i], e))
+			}
+			w.lastOSD[i] = e
+		}
+		// Each monitor's locally applied epochs are read in-process (a
+		// client query would be forwarded to the leader, conflating views).
+		for i, m := range w.r.cl.Mons {
+			osdE, mdsE := m.MapEpochs()
+			if osdE < w.lastMon[i] {
+				w.regressed = append(w.regressed, fmt.Sprintf("mon.%d OSD map epoch regressed %d -> %d", i, w.lastMon[i], osdE))
+			}
+			if mdsE < w.lastMDS[i] {
+				w.regressed = append(w.regressed, fmt.Sprintf("mon.%d MDS map epoch regressed %d -> %d", i, w.lastMDS[i], mdsE))
+			}
+			w.lastMon[i] = osdE
+			w.lastMDS[i] = mdsE
+		}
+		pause(w.r.ctx, 10*time.Millisecond)
+	}
+}
+
+// finish stops the watcher and records the maps-monotone verdict.
+func (w *mapWatcher) finish() {
+	const check = "maps-monotone"
+	close(w.stop)
+	<-w.done
+	if len(w.regressed) > 0 {
+		w.r.fail(check, w.regressed[0])
+		return
+	}
+	w.r.pass(check)
+}

@@ -1,0 +1,383 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mds"
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+	"repro/internal/wire"
+	"repro/internal/zlog"
+)
+
+// scenarioList registers the fault scripts in the order `-scenario all`
+// runs them. Each script draws every randomized decision from r.rng on
+// its own goroutine, in source order, so the fault plan — and with it
+// the event log — is a pure function of the seed.
+var scenarioList = []scenario{
+	{
+		name:  "osd-crash-restart",
+		about: "crash a random OSD mid-write, restart it, require backfill to full convergence",
+		fn:    runOSDCrashRestart,
+	},
+	{
+		name:  "primary-partition",
+		about: "partition one OSD from its peers during replicated writes, heal, require scrub convergence",
+		fn:    runPrimaryPartition,
+	},
+	{
+		name:  "mon-leader-isolation",
+		about: "isolate the Paxos leader during service-metadata commits, require re-election and no lost acks",
+		fn:    runMonLeaderIsolation,
+	},
+	{
+		name:  "sequencer-failover",
+		about: "kill the MDS hosting the ZLog sequencer mid-append, recover, require sealed epochs and no lost appends",
+		fn:    runSequencerFailover,
+	},
+	{
+		name:  "drop-latency-spike",
+		about: "sweep message-loss and latency spikes across the fabric under mixed load",
+		fn:    runDropLatencySpike,
+	},
+}
+
+// fastOSD is the OSD tuning every scenario uses: quick gossip so map
+// convergence after heal is bounded by protocol, not by timers.
+func fastOSD() rados.OSDConfig {
+	return rados.OSDConfig{GossipInterval: 20 * time.Millisecond}
+}
+
+// runOSDCrashRestart pins satellite 5 (Stop → Start as a supported
+// lifecycle): a random OSD crashes under write load, is marked down (so
+// writes remap), restarts, and must rejoin gossip, catch up to the
+// current epoch, and backfill to a state where scrub repairs nothing.
+func runOSDCrashRestart(ctx context.Context, r *run) error {
+	if err := r.boot(core.Options{
+		Mons: 1, OSDs: 4, MDSs: 0,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 3,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              fastOSD(),
+	}); err != nil {
+		return err
+	}
+	victim := r.rng.Intn(len(r.cl.OSDs))
+	w := r.watchMaps()
+	monc := r.cl.NewMonClient("client.chaos.admin")
+	writers := []*radosWriter{
+		newRadosWriter("w1", r.cl.NewRadosClient("client.chaos.w1"), "data", 5),
+		newRadosWriter("w2", r.cl.NewRadosClient("client.chaos.w2"), "data", 5),
+	}
+	crew := newCrew()
+	for _, wr := range writers {
+		wr := wr
+		crew.go_(func(stop <-chan struct{}) { wr.run(ctx, stop) })
+	}
+	pause(ctx, 150*time.Millisecond)
+
+	r.event("crash", fmt.Sprintf("osd.%d stops", victim))
+	r.cl.OSDs[victim].Stop()
+	if err := monc.MarkOSDDown(ctx, victim); err != nil {
+		return fmt.Errorf("mark osd.%d down: %w", victim, err)
+	}
+	pause(ctx, 400*time.Millisecond) // degraded writes remap and continue
+
+	r.event("restart", fmt.Sprintf("osd.%d rejoins", victim))
+	if err := r.cl.OSDs[victim].Start(ctx); err != nil {
+		return fmt.Errorf("restart osd.%d: %w", victim, err)
+	}
+	pause(ctx, 300*time.Millisecond)
+	crew.halt()
+	w.finish()
+
+	monc2 := r.cl.NewMonClient("client.chaos.check")
+	if r.checkEpochsConverge(ctx, monc2) {
+		r.checkReplicasConverge(ctx)
+	}
+	r.checkRadosDurable(ctx, writers...)
+	return nil
+}
+
+// runPrimaryPartition cuts one OSD off from its peer daemons (clients
+// and monitors still reach it) while replicated writes stream: replica
+// forwards die in the partition, and after heal the scrub machinery
+// must reconverge every PG without losing an acked write.
+func runPrimaryPartition(ctx context.Context, r *run) error {
+	if err := r.boot(core.Options{
+		Mons: 1, OSDs: 3, MDSs: 0,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 3,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              fastOSD(),
+	}); err != nil {
+		return err
+	}
+	victim := r.rng.Intn(len(r.cl.OSDs))
+	w := r.watchMaps()
+	writers := []*radosWriter{
+		newRadosWriter("w1", r.cl.NewRadosClient("client.chaos.w1"), "data", 6),
+		newRadosWriter("w2", r.cl.NewRadosClient("client.chaos.w2"), "data", 6),
+	}
+	crew := newCrew()
+	for _, wr := range writers {
+		wr := wr
+		crew.go_(func(stop <-chan struct{}) { wr.run(ctx, stop) })
+	}
+	pause(ctx, 150*time.Millisecond)
+
+	for i := range r.cl.OSDs {
+		if i != victim {
+			r.cl.Net.Partition(rados.OSDAddr(victim), rados.OSDAddr(i))
+		}
+	}
+	pause(ctx, 400*time.Millisecond) // divergence accumulates
+	r.cl.Net.HealAll()
+	pause(ctx, 200*time.Millisecond)
+	crew.halt()
+	w.finish()
+
+	monc := r.cl.NewMonClient("client.chaos.check")
+	if r.checkEpochsConverge(ctx, monc) {
+		r.checkReplicasConverge(ctx)
+	}
+	r.checkRadosDurable(ctx, writers...)
+	return nil
+}
+
+// runMonLeaderIsolation partitions the initial Paxos leader (mon.0 —
+// the bootstrap election is deterministic) away from its peers while
+// clients commit service metadata and object writes: the survivors
+// must elect a new leader, keep accepting commits, and after heal every
+// acknowledged commit must be in the final map with no monitor's epoch
+// ever regressing.
+func runMonLeaderIsolation(ctx context.Context, r *run) error {
+	if err := r.boot(core.Options{
+		Mons: 3, OSDs: 2, MDSs: 0,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 2,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              fastOSD(),
+	}); err != nil {
+		return err
+	}
+	w := r.watchMaps()
+	mw := newMetaWriter("m1", r.cl.NewMonClient("client.chaos.m1"))
+	rw := newRadosWriter("w1", r.cl.NewRadosClient("client.chaos.w1"), "data", 5)
+	crew := newCrew()
+	crew.go_(func(stop <-chan struct{}) { mw.run(ctx, stop) })
+	crew.go_(func(stop <-chan struct{}) { rw.run(ctx, stop) })
+	pause(ctx, 150*time.Millisecond)
+
+	const leader = 0 // Boot elects mon.0 deterministically
+	for i := 1; i < len(r.cl.Mons); i++ {
+		r.cl.Net.Partition(mon.Addr(leader), mon.Addr(i))
+	}
+	pause(ctx, 500*time.Millisecond) // > ElectionTimeout: survivors re-elect
+	r.cl.Net.HealAll()
+	pause(ctx, 300*time.Millisecond) // old leader rejoins and catches up
+	crew.halt()
+	w.finish()
+
+	monc := r.cl.NewMonClient("client.chaos.check")
+	r.checkServiceMetaDurable(ctx, monc, mw)
+	r.checkEpochsConverge(ctx, monc)
+	r.checkRadosDurable(ctx, rw)
+	return nil
+}
+
+// chaosLogName names the shared log the ZLog scenarios drive.
+const chaosLogName = "chaoslog"
+
+// runSequencerFailover kills the MDS rank holding the ZLog sequencer
+// capability while two clients append, lets the standby rank take over,
+// runs sequencer recovery, and then audits the full CORFU contract:
+// sealed epochs reject stale writes, every acked append is intact, and
+// no rank ever had two concurrent capability holders.
+func runSequencerFailover(ctx context.Context, r *run) error {
+	if err := r.boot(core.Options{
+		Mons: 1, OSDs: 3, MDSs: 2,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 2,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              fastOSD(),
+		MDS: mds.Config{
+			RecallTimeout:  150 * time.Millisecond,
+			JournalEvery:   8,
+			BeaconInterval: 25 * time.Millisecond,
+		},
+	}); err != nil {
+		return err
+	}
+	const width = 4
+	openLog := func(self string) (*zlog.Log, error) {
+		return zlog.Open(ctx, r.cl.Net, wire.Addr(self), r.cl.MonIDs(), zlog.Options{
+			Name: chaosLogName, Pool: "data", Width: width,
+			SeqPolicy: mds.CapPolicy{Cacheable: true, Quota: 32},
+		})
+	}
+	admin, err := openLog("client.chaos.admin")
+	if err != nil {
+		return fmt.Errorf("open admin log: %w", err)
+	}
+	defer admin.Close()
+	var appenders []*zlogAppender
+	crew := newCrew()
+	for i := 1; i <= 2; i++ {
+		l, err := openLog(fmt.Sprintf("client.chaos.a%d", i))
+		if err != nil {
+			return fmt.Errorf("open appender log: %w", err)
+		}
+		defer l.Close()
+		a := newZlogAppender(fmt.Sprintf("a%d", i), l)
+		appenders = append(appenders, a)
+		crew.go_(func(stop <-chan struct{}) { a.run(ctx, stop) })
+	}
+	w := r.watchMaps()
+	monc := r.cl.NewMonClient("client.chaos.adminmon")
+	pause(ctx, 300*time.Millisecond)
+
+	r.event("crash", "mds.0 (sequencer authority) stops")
+	r.cl.MDSs[0].Stop()
+	if err := monc.MarkMDSDown(ctx, 0); err != nil {
+		return fmt.Errorf("mark mds.0 down: %w", err)
+	}
+	pause(ctx, 500*time.Millisecond) // rank 1 replays the journal and adopts
+
+	if err := r.recoverLog(ctx, admin, monc, width); err != nil {
+		return err
+	}
+	pause(ctx, 300*time.Millisecond) // stale appenders resync and continue
+	crew.halt()
+	w.finish()
+
+	rc := r.cl.NewRadosClient("client.chaos.probe")
+	r.checkSealedEpochRejects(ctx, rc, monc, admin, "data", chaosLogName, width)
+	r.checkAppendsDurable(ctx, admin, appenders...)
+	r.checkCapHistories()
+	r.checkEpochsConverge(ctx, monc)
+	return nil
+}
+
+// recoverLog runs sequencer recovery: the healthy protocol by default,
+// or — when the fixture knob SkipSealOnRecovery is set — a deliberately
+// broken variant that publishes the new epoch and reinstalls the tail
+// WITHOUT sealing the stripes, exactly the lost-update bug the
+// sealed-epoch checker exists to catch.
+func (r *run) recoverLog(ctx context.Context, l *zlog.Log, monc *mon.Client, width int) error {
+	if r.opts.SkipSealOnRecovery {
+		r.event("recover", "BROKEN: epoch bump without seal (fixture mode)")
+		return r.brokenRecover(ctx, l, monc, width)
+	}
+	r.event("recover", "sequencer recovery (seal + tail reinstall)")
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if err = l.Recover(ctx); err == nil {
+			return nil
+		}
+		pause(ctx, 50*time.Millisecond)
+	}
+	return fmt.Errorf("recovery never succeeded: %w", err)
+}
+
+// brokenRecover mimics a recovery implementation that forgot the seal
+// step: it bumps the published epoch and recomputes the tail from the
+// stripes' max positions, but never installs the epoch on the stripe
+// objects — so stale clients' writes still land.
+func (r *run) brokenRecover(ctx context.Context, l *zlog.Log, monc *mon.Client, width int) error {
+	cur, err := publishedEpoch(ctx, monc, chaosLogName)
+	if err != nil {
+		return err
+	}
+	next := cur + 1
+	if err := monc.SetService(ctx, types.MapOSD, zlog.EpochKey(chaosLogName),
+		strconv.FormatUint(next, 10)); err != nil {
+		return err
+	}
+	// Read each stripe's max position under the new epoch — but never
+	// seal, so the old epoch stays valid on the storage class.
+	rc := r.cl.NewRadosClient("client.chaos.brokenrec")
+	epochArg := []byte(strconv.FormatUint(next, 10))
+	maxPos := int64(-1)
+	for i := 0; i < width; i++ {
+		obj := chaosLogName + "." + strconv.Itoa(i)
+		out, err := rc.Call(ctx, "data", obj, zlog.ClassName, "maxpos", epochArg)
+		if err != nil {
+			return fmt.Errorf("maxpos %s: %w", obj, err)
+		}
+		mp, perr := strconv.ParseInt(string(out), 10, 64)
+		if perr != nil {
+			return fmt.Errorf("maxpos %s returned %q", obj, out)
+		}
+		if mp > maxPos {
+			maxPos = mp
+		}
+	}
+	return l.MDS().SetValue(ctx, zlog.SeqPath(chaosLogName), uint64(maxPos+1))
+}
+
+// runDropLatencySpike sweeps rounds of global loss, per-link loss, and
+// latency spikes (all magnitudes drawn from the seed) across the fabric
+// while a ZLog appender and an object writer stream, then clears every
+// fault and audits the full invariant set.
+func runDropLatencySpike(ctx context.Context, r *run) error {
+	if err := r.boot(core.Options{
+		Mons: 1, OSDs: 3, MDSs: 1,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 2,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              fastOSD(),
+		MDS:              mds.Config{RecallTimeout: 150 * time.Millisecond},
+	}); err != nil {
+		return err
+	}
+	l, err := zlog.Open(ctx, r.cl.Net, wire.Addr("client.chaos.a1"), r.cl.MonIDs(), zlog.Options{
+		Name: chaosLogName, Pool: "data", Width: 4,
+		SeqPolicy: mds.CapPolicy{Cacheable: true, Quota: 32},
+	})
+	if err != nil {
+		return fmt.Errorf("open log: %w", err)
+	}
+	defer l.Close()
+	w := r.watchMaps()
+	a := newZlogAppender("a1", l)
+	rw := newRadosWriter("w1", r.cl.NewRadosClient("client.chaos.w1"), "data", 5)
+	crew := newCrew()
+	crew.go_(func(stop <-chan struct{}) { a.run(ctx, stop) })
+	crew.go_(func(stop <-chan struct{}) { rw.run(ctx, stop) })
+	pause(ctx, 100*time.Millisecond)
+
+	for round := 0; round < 3; round++ {
+		// All draws happen here, in fixed order, on this goroutine.
+		drop := 0.10 + 0.25*r.rng.Float64()
+		lat := time.Duration(r.rng.Intn(3)) * time.Millisecond
+		x := r.rng.Intn(len(r.cl.OSDs))
+		y := (x + 1 + r.rng.Intn(len(r.cl.OSDs)-1)) % len(r.cl.OSDs)
+		linkDrop := 0.2 + 0.4*r.rng.Float64()
+
+		r.event("spike", fmt.Sprintf("round %d: drop=%.2f latency=%s link osd.%d<->osd.%d drop=%.2f",
+			round, drop, lat, x, y, linkDrop))
+		r.cl.Net.SetDropRate(drop)
+		r.cl.Net.SetLatency(lat, lat/2)
+		r.cl.Net.SetLinkDropRate(rados.OSDAddr(x), rados.OSDAddr(y), linkDrop)
+		pause(ctx, 250*time.Millisecond)
+
+		r.cl.Net.SetDropRate(0)
+		r.cl.Net.SetLatency(0, 0)
+		r.cl.Net.SetLinkDropRate(rados.OSDAddr(x), rados.OSDAddr(y), 0)
+		pause(ctx, 150*time.Millisecond)
+	}
+	r.cl.Net.HealAll()
+	pause(ctx, 200*time.Millisecond)
+	crew.halt()
+	w.finish()
+
+	monc := r.cl.NewMonClient("client.chaos.check")
+	if r.checkEpochsConverge(ctx, monc) {
+		r.checkReplicasConverge(ctx)
+	}
+	r.checkRadosDurable(ctx, rw)
+	r.checkAppendsDurable(ctx, l, a)
+	r.checkCapHistories()
+	return nil
+}

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/mon"
+	"repro/internal/rados"
+	"repro/internal/types"
+	"repro/internal/zlog"
+)
+
+// Workloads run concurrently with the fault script. Each records what
+// the cluster acknowledged — and only that — because the invariants are
+// about acknowledged operations: an op that errored during a fault
+// window may legitimately have landed or not, but an acked op must
+// survive anything.
+
+// radosWriter overwrites a fixed object set with monotonically
+// increasing payloads.
+type radosWriter struct {
+	name    string
+	rc      *rados.Client
+	pool    string
+	objects []string
+
+	mu    sync.Mutex
+	acked map[string]string // guarded by mu; object -> last acked payload
+	// pending holds payloads attempted after the last ack whose fate is
+	// unknown (the reply may have been lost after the write applied); the
+	// durability check accepts any of them as the final state.
+	pending map[string][]string // guarded by mu
+	oks     int                 // guarded by mu
+	errs    int                 // guarded by mu
+}
+
+func newRadosWriter(name string, rc *rados.Client, pool string, objects int) *radosWriter {
+	w := &radosWriter{
+		name:    name,
+		rc:      rc,
+		pool:    pool,
+		acked:   make(map[string]string),
+		pending: make(map[string][]string),
+	}
+	for i := 0; i < objects; i++ {
+		w.objects = append(w.objects, fmt.Sprintf("%s-obj%d", name, i))
+	}
+	return w
+}
+
+// run writes until stopped, pacing lightly so faults land mid-stream.
+func (w *radosWriter) run(ctx context.Context, stop <-chan struct{}) {
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		obj := w.objects[i%len(w.objects)]
+		payload := fmt.Sprintf("%s:%d", obj, i)
+		cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		err := w.rc.WriteFull(cctx, w.pool, obj, []byte(payload))
+		cancel()
+		w.mu.Lock()
+		if err == nil {
+			w.acked[obj] = payload
+			w.pending[obj] = nil
+			w.oks++
+		} else {
+			w.pending[obj] = append(w.pending[obj], payload)
+			w.errs++
+		}
+		w.mu.Unlock()
+		pause(ctx, 2*time.Millisecond)
+	}
+}
+
+// appendRec is one acknowledged log append.
+type appendRec struct {
+	pos     uint64
+	payload string
+}
+
+// zlogAppender appends to a shared log until stopped.
+type zlogAppender struct {
+	name string
+	log  *zlog.Log
+
+	mu    sync.Mutex
+	acked []appendRec // guarded by mu
+	errs  int         // guarded by mu
+}
+
+func newZlogAppender(name string, l *zlog.Log) *zlogAppender {
+	return &zlogAppender{name: name, log: l}
+}
+
+func (a *zlogAppender) run(ctx context.Context, stop <-chan struct{}) {
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		payload := a.name + ":" + strconv.Itoa(i)
+		cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		pos, err := a.log.Append(cctx, []byte(payload))
+		cancel()
+		a.mu.Lock()
+		if err == nil {
+			a.acked = append(a.acked, appendRec{pos: pos, payload: payload})
+		} else {
+			a.errs++
+		}
+		a.mu.Unlock()
+		pause(ctx, 2*time.Millisecond)
+	}
+}
+
+// metaWriter commits service-metadata keys through the monitor quorum.
+type metaWriter struct {
+	name string
+	monc *mon.Client
+
+	mu    sync.Mutex
+	acked map[string]string // guarded by mu; key -> acked value
+	errs  int               // guarded by mu
+}
+
+func newMetaWriter(name string, monc *mon.Client) *metaWriter {
+	return &metaWriter{name: name, monc: monc, acked: make(map[string]string)}
+}
+
+func (w *metaWriter) run(ctx context.Context, stop <-chan struct{}) {
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		key := fmt.Sprintf("chaos.%s.%d", w.name, i)
+		val := strconv.Itoa(i)
+		cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		err := w.monc.SetService(cctx, types.MapOSD, key, val)
+		cancel()
+		w.mu.Lock()
+		if err == nil {
+			w.acked[key] = val
+		} else {
+			w.errs++
+		}
+		w.mu.Unlock()
+		pause(ctx, 5*time.Millisecond)
+	}
+}

@@ -22,6 +22,25 @@ import (
 // The protocol is cooperative, as in CephFS; an unresponsive holder is
 // force-reclaimed after RecallTimeout.
 
+// CapEvent is one capability transition on an inode, recorded under the
+// server mutex so the per-server sequence is a linearization. The chaos
+// harness audits these: a "grant" while another client still holds the
+// cap would mean two concurrent sequencers.
+type CapEvent struct {
+	Path   string
+	Client wire.Addr
+	Kind   string // "grant" or "release"
+}
+
+// CapHistory returns a copy of this rank's capability transition log.
+func (s *Server) CapHistory() []CapEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CapEvent, len(s.capLog))
+	copy(out, s.capLog)
+	return out
+}
+
 func (s *Server) handleAcquire(ctx context.Context, r AcquireReq) AcquireResp {
 	s.work(s.cfg.HandleTime)
 	s.countOp()
@@ -43,6 +62,12 @@ func (s *Server) handleAcquire(ctx context.Context, r AcquireReq) AcquireResp {
 		return AcquireResp{Status: StDenied}
 	}
 	if ino.holder == "" {
+		if ino.fenced(time.Now()) {
+			// A SetValue (recovery tail install) is chasing this inode;
+			// grants resume when it lands or the fence expires.
+			s.mu.Unlock()
+			return AcquireResp{Status: StAgain}
+		}
 		resp := s.grantLocked(ino, r.Client)
 		s.mu.Unlock()
 		return resp
@@ -75,6 +100,7 @@ func (s *Server) grantLocked(ino *inode, client wire.Addr) AcquireResp {
 	ino.grantSeq++
 	ino.recallSent = false
 	ino.Popularity++
+	s.capLog = append(s.capLog, CapEvent{Path: ino.Path, Client: client, Kind: "grant"})
 	resp := AcquireResp{
 		Status: StOK,
 		Value:  ino.Value,
@@ -177,11 +203,39 @@ func (s *Server) releaseLocked(ino *inode, client wire.Addr, value uint64) (*jou
 	}
 	ino.holder = ""
 	ino.recallSent = false
+	s.capLog = append(s.capLog, CapEvent{Path: ino.Path, Client: client, Kind: "release"})
 	var g *grantMsg
-	if len(ino.waiters) > 0 {
+	if now := time.Now(); ino.fenced(now) {
+		// A SetValue is waiting for exactly this moment: leave the cap
+		// ungranted so its retry can install the value. Queued waiters are
+		// resumed by the SetValue itself — or by this timer if the fencing
+		// client crashed and the fence expires unclaimed.
+		if len(ino.waiters) > 0 {
+			path := ino.Path
+			time.AfterFunc(ino.fenceUntil.Sub(now)+time.Millisecond, func() {
+				s.regrantAfterFence(path)
+			})
+		}
+	} else if len(ino.waiters) > 0 {
 		next := ino.waiters[0]
 		ino.waiters = ino.waiters[1:]
 		g = &grantMsg{ch: next.ch, resp: s.grantLocked(ino, next.client)}
 	}
 	return &journalEntry{Op: "value", Path: ino.Path, Value: ino.Value}, g
+}
+
+// regrantAfterFence resumes a waiter queue that a fenced release left
+// paused, if the fence lapsed without the fencing SetValue landing.
+func (s *Server) regrantAfterFence(path string) {
+	s.mu.Lock()
+	ino, ok := s.inodes[path]
+	if !ok || ino.holder != "" || len(ino.waiters) == 0 || ino.fenced(time.Now()) {
+		s.mu.Unlock()
+		return
+	}
+	next := ino.waiters[0]
+	ino.waiters = ino.waiters[1:]
+	g := &grantMsg{ch: next.ch, resp: s.grantLocked(ino, next.client)}
+	s.mu.Unlock()
+	g.deliver()
 }

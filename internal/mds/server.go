@@ -78,6 +78,18 @@ type inode struct {
 	recallSent bool
 	grantSeq   uint64 // increments per grant; lets recall timers detect stale grants
 	sinceCkpt  int    // round-trip increments since last journal checkpoint
+	// fenceUntil pauses capability grants while a SetValue (ZLog
+	// recovery installing the recomputed tail) chases the cap. Without
+	// the fence, release hands the cap straight to the next queued
+	// waiter and a recovery racing steady-state appenders starves
+	// forever. Zero means no fence; an expired fence is ignored, so a
+	// crashed recovery client cannot wedge the inode.
+	fenceUntil time.Time
+}
+
+// fenced reports whether grants on ino are currently paused.
+func (ino *inode) fenced(now time.Time) bool {
+	return now.Before(ino.fenceUntil)
 }
 
 // Server is one metadata server rank.
@@ -93,6 +105,10 @@ type Server struct {
 	redirect map[string]int    // guarded by mu; client-mode redirect: path -> rank
 	mdsMap   *types.MDSMap     // guarded by mu
 	ops      int64             // guarded by mu; requests handled since last balance tick
+	// capLog linearizes capability grants and releases (every transition
+	// happens under mu), so a harness can audit that the server never
+	// had two concurrent holders on an inode.
+	capLog []CapEvent // guarded by mu
 	// balancerErr remembers the last policy failure for introspection.
 	balancerErr error // guarded by mu
 
@@ -540,7 +556,10 @@ func (s *Server) handleSetValue(r SetValueReq) SetValueResp {
 	if ino.holder != "" {
 		// Chase the outstanding capability so the retry can proceed
 		// (during ZLog recovery the holder has typically crashed and the
-		// recall timer force-reclaims).
+		// recall timer force-reclaims). The fence pauses re-grants until
+		// the retry lands: without it, release hands the cap straight to
+		// the next queued appender and the recovery starves.
+		ino.fenceUntil = time.Now().Add(s.fenceWindow())
 		s.sendRecallLocked(ino)
 		s.mu.Unlock()
 		return SetValueResp{Status: StAgain}
@@ -549,9 +568,26 @@ func (s *Server) handleSetValue(r SetValueReq) SetValueResp {
 		ino.Value = r.Value
 	}
 	v := ino.Value
+	ino.fenceUntil = time.Time{}
+	// The install is done; hand the cap to the next queued waiter (fenced
+	// releases leave the queue untouched, so resume it here).
+	var g *grantMsg
+	if len(ino.waiters) > 0 {
+		next := ino.waiters[0]
+		ino.waiters = ino.waiters[1:]
+		g = &grantMsg{ch: next.ch, resp: s.grantLocked(ino, next.client)}
+	}
 	s.mu.Unlock()
+	g.deliver()
 	s.journal(journalEntry{Op: "value", Path: r.Path, Value: v})
 	return SetValueResp{Status: StOK}
+}
+
+// fenceWindow bounds how long a SetValue fence pauses grants: long
+// enough to cover the client's busy-retry backoff, short enough that a
+// crashed recovery releases the inode promptly.
+func (s *Server) fenceWindow() time.Duration {
+	return 300 * time.Millisecond
 }
 
 // ---- beacons ----

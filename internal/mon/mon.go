@@ -227,6 +227,15 @@ func (m *Monitor) Stop() {
 	m.wg.Wait()
 }
 
+// MapEpochs returns this monitor's locally applied map epochs (no
+// leader forwarding). Harnesses use it to audit that each individual
+// monitor's view only ever moves forward.
+func (m *Monitor) MapEpochs() (osd, mds types.Epoch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.osdMap.Epoch, m.mdsMap.Epoch
+}
+
 // IsLeader reports whether this monitor currently leads the quorum.
 func (m *Monitor) IsLeader() bool { return m.px.IsLeader() }
 

@@ -88,9 +88,14 @@ type OSD struct {
 
 	scrubRepairs int // guarded by mu
 
-	stopOnce sync.Once
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
+	// Lifecycle: Stop -> Start is a supported restart cycle (the crashed
+	// daemon rejoining the cluster); stopCh is replaced on each Start so
+	// background loops always select on the channel of their own
+	// incarnation.
+	lifeMu  sync.Mutex
+	stopCh  chan struct{} // guarded by lifeMu
+	running bool          // guarded by lifeMu
+	wg      sync.WaitGroup
 }
 
 // NewOSD constructs an OSD bound to the fabric.
@@ -128,40 +133,78 @@ func (o *OSD) ScrubRepairs() int {
 	return o.scrubRepairs
 }
 
+// ScrubNow runs one synchronous scrub pass over the placement groups
+// this daemon leads and reports how many divergent replicas it repaired
+// during the pass. Harnesses use it to drive convergence checks without
+// waiting for the background scrub interval.
+func (o *OSD) ScrubNow() int {
+	before := o.ScrubRepairs()
+	o.scrubOnce()
+	return o.ScrubRepairs() - before
+}
+
 // Start registers the daemon, boots it into the OSD map, subscribes to
-// map pushes, and launches gossip/beacon/scrub loops.
+// map pushes, and launches gossip/beacon/scrub loops. Starting after a
+// Stop restarts the daemon: booting marks it up again (bumping the map
+// epoch), it refetches the current map, and peers backfill it the data
+// it missed while down.
 func (o *OSD) Start(ctx context.Context) error {
+	o.lifeMu.Lock()
+	if o.running {
+		o.lifeMu.Unlock()
+		return fmt.Errorf("osd.%d: already running", o.cfg.ID)
+	}
+	o.stopCh = make(chan struct{})
+	o.running = true
+	stop := o.stopCh
+	o.lifeMu.Unlock()
+
+	fail := func(err error) error {
+		o.net.Unlisten(o.Addr())
+		o.lifeMu.Lock()
+		o.running = false
+		close(o.stopCh)
+		o.lifeMu.Unlock()
+		return err
+	}
 	o.net.Listen(o.Addr(), o.handle)
 	if err := o.monc.BootOSD(ctx, o.cfg.ID, o.Addr()); err != nil {
-		o.net.Unlisten(o.Addr())
-		return fmt.Errorf("osd.%d: boot: %w", o.cfg.ID, err)
+		return fail(fmt.Errorf("osd.%d: boot: %w", o.cfg.ID, err))
 	}
 	if err := o.monc.Subscribe(ctx, o.Addr(), types.MapOSD); err != nil {
-		return fmt.Errorf("osd.%d: subscribe: %w", o.cfg.ID, err)
+		return fail(fmt.Errorf("osd.%d: subscribe: %w", o.cfg.ID, err))
 	}
 	m, err := o.monc.GetOSDMap(ctx)
 	if err != nil {
-		return fmt.Errorf("osd.%d: fetch map: %w", o.cfg.ID, err)
+		return fail(fmt.Errorf("osd.%d: fetch map: %w", o.cfg.ID, err))
 	}
 	o.updateMap(m)
 
 	o.wg.Add(1)
-	go o.gossipLoop()
+	go o.gossipLoop(stop)
 	if o.cfg.BeaconInterval > 0 {
 		o.wg.Add(1)
-		go o.beaconLoop()
+		go o.beaconLoop(stop)
 	}
 	if o.cfg.ScrubInterval > 0 {
 		o.wg.Add(1)
-		go o.scrubLoop()
+		go o.scrubLoop(stop)
 	}
 	return nil
 }
 
 // Stop halts the daemon and removes it from the fabric (a crash, from
-// the cluster's point of view).
+// the cluster's point of view). Idempotent; a stopped daemon can be
+// restarted with Start.
 func (o *OSD) Stop() {
-	o.stopOnce.Do(func() { close(o.stopCh) })
+	o.lifeMu.Lock()
+	if !o.running {
+		o.lifeMu.Unlock()
+		return
+	}
+	o.running = false
+	close(o.stopCh)
+	o.lifeMu.Unlock()
 	o.net.Unlisten(o.Addr())
 	o.wg.Wait()
 }
@@ -355,23 +398,23 @@ func (o *OSD) getPG(id PGID) *pg {
 
 // ---- gossip ----
 
-func (o *OSD) gossipLoop() {
+func (o *OSD) gossipLoop(stop chan struct{}) {
 	defer o.wg.Done()
 	ticker := time.NewTicker(o.cfg.GossipInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-o.stopCh:
+		case <-stop:
 			return
 		case <-ticker.C:
 		}
-		o.gossipOnce()
+		o.gossipOnce(stop)
 	}
 }
 
 // gossipOnce exchanges epochs with random up peers; whichever side is
 // behind receives the full map.
-func (o *OSD) gossipOnce() {
+func (o *OSD) gossipOnce(stop chan struct{}) {
 	o.mu.Lock()
 	m := o.osdMap
 	peers := m.UpOSDs()
@@ -400,7 +443,7 @@ func (o *OSD) gossipOnce() {
 		o.wg.Add(1)
 		go func() {
 			defer o.wg.Done()
-			ctx, cancel := stopctx.WithTimeout(o.stopCh, o.cfg.GossipInterval*4)
+			ctx, cancel := stopctx.WithTimeout(stop, o.cfg.GossipInterval*4)
 			defer cancel()
 			resp, err := o.net.Call(ctx, o.Addr(), OSDAddr(peer), gossipMsg{From: o.cfg.ID, Epoch: o.Epoch()})
 			if err != nil {
@@ -440,7 +483,7 @@ func (o *OSD) handleGossip(g gossipMsg) gossipMsg {
 
 // ---- beacons ----
 
-func (o *OSD) beaconLoop() {
+func (o *OSD) beaconLoop(stop chan struct{}) {
 	defer o.wg.Done()
 	// Register with the failure detector immediately so a daemon that
 	// dies young is still noticed.
@@ -451,7 +494,7 @@ func (o *OSD) beaconLoop() {
 	defer ticker.Stop()
 	for {
 		select {
-		case <-o.stopCh:
+		case <-stop:
 			return
 		case <-ticker.C:
 		}
@@ -463,13 +506,13 @@ func (o *OSD) beaconLoop() {
 
 // ---- scrub ----
 
-func (o *OSD) scrubLoop() {
+func (o *OSD) scrubLoop(stop chan struct{}) {
 	defer o.wg.Done()
 	ticker := time.NewTicker(o.cfg.ScrubInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-o.stopCh:
+		case <-stop:
 			return
 		case <-ticker.C:
 		}

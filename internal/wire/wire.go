@@ -58,13 +58,27 @@ type endpointStat struct {
 	maxInflight uint64
 }
 
+// FaultEvent describes one runtime change to the fabric's fault state:
+// a partition, a heal, or a latency/drop-rate adjustment. The chaos
+// harness subscribes to these to build its event log from the fabric's
+// own view of what was injected.
+type FaultEvent struct {
+	Kind   string // "partition", "heal", "heal-all", "drop-rate", "link-drop", "latency"
+	A, B   Addr   // the affected pair, when pairwise
+	Rate   float64
+	Base   time.Duration
+	Jitter time.Duration
+}
+
 // Network is an in-process fabric. The zero value is not usable; call
 // NewNetwork.
 type Network struct {
 	mu         sync.RWMutex
-	endpoints  map[Addr]Handler // guarded by mu
-	partitions map[[2]Addr]bool // guarded by mu
-	latency    time.Duration    // set by Options before the network is shared
+	endpoints  map[Addr]Handler    // guarded by mu
+	partitions map[[2]Addr]bool    // guarded by mu
+	linkDrop   map[[2]Addr]float64 // guarded by mu; per-link loss overrides
+	onFault    func(FaultEvent)    // guarded by mu
+	latency    time.Duration       // set by Options before the network is shared
 	jitter     time.Duration
 	dropRate   float64
 	rng        *rand.Rand
@@ -107,6 +121,7 @@ func NewNetwork(opts ...Option) *Network {
 	n := &Network{
 		endpoints:  make(map[Addr]Handler),
 		partitions: make(map[[2]Addr]bool),
+		linkDrop:   make(map[[2]Addr]float64),
 		rng:        rand.New(rand.NewSource(1)),
 		outbound:   make(map[Addr]*endpointStat),
 	}
@@ -131,40 +146,79 @@ func (n *Network) Unlisten(addr Addr) {
 	delete(n.endpoints, addr)
 }
 
+// OnFault registers a hook invoked (synchronously, outside the fabric
+// lock) after every runtime fault-state change. One hook at a time; nil
+// unregisters. Register before injecting faults.
+func (n *Network) OnFault(fn func(FaultEvent)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onFault = fn
+}
+
+// notifyFault delivers ev to the registered hook, if any.
+func (n *Network) notifyFault(ev FaultEvent) {
+	n.mu.RLock()
+	fn := n.onFault
+	n.mu.RUnlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
 // Partition severs connectivity between a and b (both directions).
 func (n *Network) Partition(a, b Addr) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.partitions[pairKey(a, b)] = true
+	n.mu.Unlock()
+	n.notifyFault(FaultEvent{Kind: "partition", A: a, B: b})
 }
 
 // Heal restores connectivity between a and b.
 func (n *Network) Heal(a, b Addr) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	delete(n.partitions, pairKey(a, b))
+	n.mu.Unlock()
+	n.notifyFault(FaultEvent{Kind: "heal", A: a, B: b})
 }
 
-// HealAll removes every partition.
+// HealAll removes every partition and per-link drop override.
 func (n *Network) HealAll() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.partitions = make(map[[2]Addr]bool)
+	n.linkDrop = make(map[[2]Addr]float64)
+	n.mu.Unlock()
+	n.notifyFault(FaultEvent{Kind: "heal-all"})
 }
 
 // SetLatency adjusts delivery delay at runtime.
 func (n *Network) SetLatency(base, jitter time.Duration) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.latency = base
 	n.jitter = jitter
+	n.mu.Unlock()
+	n.notifyFault(FaultEvent{Kind: "latency", Base: base, Jitter: jitter})
 }
 
 // SetDropRate adjusts message loss probability at runtime.
 func (n *Network) SetDropRate(p float64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.dropRate = p
+	n.mu.Unlock()
+	n.notifyFault(FaultEvent{Kind: "drop-rate", Rate: p})
+}
+
+// SetLinkDropRate sets a loss probability for the a<->b link alone,
+// overriding the global rate when higher (a flaky cable rather than a
+// congested fabric). p <= 0 clears the override.
+func (n *Network) SetLinkDropRate(a, b Addr, p float64) {
+	n.mu.Lock()
+	if p <= 0 {
+		delete(n.linkDrop, pairKey(a, b))
+	} else {
+		n.linkDrop[pairKey(a, b)] = p
+	}
+	n.mu.Unlock()
+	n.notifyFault(FaultEvent{Kind: "link-drop", A: a, B: b, Rate: p})
 }
 
 // Stats returns a snapshot of traffic counters.
@@ -227,6 +281,9 @@ func (n *Network) route(from, to Addr) (Handler, time.Duration, error) {
 	h, ok := n.endpoints[to]
 	severed := n.partitions[pairKey(from, to)]
 	base, jitter, drop := n.latency, n.jitter, n.dropRate
+	if ld := n.linkDrop[pairKey(from, to)]; ld > drop {
+		drop = ld
+	}
 	n.mu.RUnlock()
 
 	if severed {
