@@ -5,8 +5,12 @@ GO ?= go
 SCENARIO ?= all
 SEED ?= 1
 
-.PHONY: build test race vet lint lint-json lint-fixtures bench bench-smoke bench-json \
-	chaos chaos-race cover bench-compare ci
+# lint-diff baseline: `make lint-diff BASE=origin/main` reports only
+# findings in packages with .go files changed since BASE.
+BASE ?= HEAD~1
+
+.PHONY: build test race vet lint lint-json lint-sarif lint-diff lint-fixtures \
+	bench bench-smoke bench-json chaos chaos-race cover bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +25,8 @@ vet:
 	$(GO) vet ./...
 
 # Domain-aware static analysis (internal/analysis): epochguard,
-# lockblock, errdrop, sleepsync, ctxleak, fieldguard, goleak, chanlife.
+# lockblock, errdrop, sleepsync, ctxleak, fieldguard, goleak, chanlife,
+# plus the cross-package protocol passes lockorder, rpcflow, retrysafe.
 # Fails on any unsuppressed finding; suppressions require
 # //lint:ignore <pass> <reason> and are budgeted by TestWaiverBudget.
 lint:
@@ -33,9 +38,21 @@ lint-json:
 	$(GO) run ./cmd/malacolint -json ./... > malacolint-report.json; \
 	status=$$?; cat malacolint-report.json; exit $$status
 
+# The JSON gate plus a SARIF 2.1.0 log for code-scanning upload; witness
+# chains land as relatedLocations.
+lint-sarif:
+	$(GO) run ./cmd/malacolint -json -sarif malacolint.sarif ./... > malacolint-report.json; \
+	status=$$?; cat malacolint-report.json; exit $$status
+
+# Fast pre-gate: the whole program is still loaded (cross-package facts
+# stay global), but only findings in packages changed since $(BASE) are
+# reported.
+lint-diff:
+	$(GO) run ./cmd/malacolint -diff $(BASE) ./...
+
 # The analyzers' own golden-fixture tests plus the waiver budget.
 lint-fixtures:
-	$(GO) test -count=1 -run 'TestEpochGuard|TestLockBlock|TestErrDrop|TestSleepSync|TestCtxLeak|TestFieldGuard|TestGoLeak|TestChanLife|TestWaiverBudget|TestMalformedSuppression' ./internal/analysis
+	$(GO) test -count=1 -run 'TestEpochGuard|TestLockBlock|TestErrDrop|TestSleepSync|TestCtxLeak|TestFieldGuard|TestGoLeak|TestChanLife|TestLockOrder|TestRPCFlow|TestRetrySafe|TestCrossPackageFacts|TestSARIF|TestDedupe|TestWaiverBudget|TestMalformedSuppression' ./internal/analysis
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -86,4 +103,4 @@ bench-compare:
 	$(GO) test -run=^$$ -bench='^Benchmark(RadosWrite(Serial|Pipelined)|ZLogAppendReplicated)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pr3.json -tolerance 0.30
 
-ci: build vet lint-json lint-fixtures race bench-smoke chaos cover bench-compare
+ci: build vet lint-sarif lint-fixtures race bench-smoke chaos cover bench-compare

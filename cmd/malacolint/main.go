@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	malacolint [-passes epochguard,errdrop] [-list] [-json] [-waivers] [packages]
+//	malacolint [-passes epochguard,errdrop] [-list] [-json] [-waivers]
+//	           [-sarif out.sarif] [-diff ref] [packages]
 //
 // -json prints the findings (or, with -waivers, the waiver list) as a
 // machine-readable report on stdout; CI archives it as a build
 // artifact. -waivers lists every //lint:ignore marker instead of
 // running the analyzers, so the audited-exception budget is one
-// command away.
+// command away. -sarif additionally writes the findings as a SARIF
+// 2.1.0 log for code-scanning upload. -diff restricts *reported*
+// findings to packages with files changed since the given git ref —
+// the whole program is still loaded, so cross-package passes keep
+// their global facts — which makes a fast pre-gate for large trees.
 //
 // The package patterns default to ./... and are resolved by `go list`
 // relative to the current directory.
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -51,6 +57,8 @@ func main() {
 		listFlag    = flag.Bool("list", false, "list available passes and exit")
 		jsonFlag    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 		waiversFlag = flag.Bool("waivers", false, "list //lint:ignore waivers instead of running the analyzers")
+		sarifFlag   = flag.String("sarif", "", "also write findings as a SARIF 2.1.0 log to this path")
+		diffFlag    = flag.String("diff", "", "report only findings in packages changed since this git ref")
 	)
 	flag.Parse()
 
@@ -140,7 +148,33 @@ func main() {
 			diags = append(diags, pass.Run(pkg, idx)...)
 		}
 	}
-	diags = analysis.ApplySuppressions(pkgs, diags)
+	diags = analysis.Dedupe(analysis.ApplySuppressions(pkgs, diags))
+
+	if *diffFlag != "" {
+		dirs, err := changedDirs(cwd, *diffFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "malacolint: -diff %s: %v\n", *diffFlag, err)
+			os.Exit(2)
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if dirs[filepath.Dir(relPath(d.Pos.Filename))] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	if *sarifFlag != "" {
+		out, err := analysis.SARIF(diags, relPath)
+		if err == nil {
+			err = os.WriteFile(*sarifFlag, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "malacolint: -sarif: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *jsonFlag {
 		report := struct {
@@ -169,4 +203,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "malacolint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// changedDirs lists the repo-relative directories containing .go files
+// changed since ref, per git.
+func changedDirs(cwd, ref string) (map[string]bool, error) {
+	out, err := exec.Command("git", "-C", cwd, "diff", "--name-only", ref, "--", "*.go").Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("%v: %s", err, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, err
+	}
+	dirs := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line == "" {
+			continue
+		}
+		dirs[filepath.Dir(filepath.FromSlash(line))] = true
+	}
+	return dirs, nil
 }

@@ -27,11 +27,21 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Cross-package passes attach the witness
+// path (call chain, lock acquisitions) as Related positions; the text
+// renderer folds them into the message and the SARIF renderer emits
+// them as relatedLocations.
 type Diagnostic struct {
 	Pos     token.Position
 	Pass    string
 	Message string
+	Related []Related
+}
+
+// Related is one step of a finding's witness path.
+type Related struct {
+	Pos  token.Position
+	Note string
 }
 
 func (d Diagnostic) String() string {
@@ -59,7 +69,29 @@ func Passes() []*Pass {
 		NewFieldGuard(),
 		NewGoLeak(),
 		NewChanLife(),
+		NewLockOrder(),
+		NewRPCFlow(),
+		NewRetrySafe(),
 	}
+}
+
+// Dedupe removes diagnostics identical in (position, pass, message).
+// Whole-program passes attribute findings to the package that owns the
+// file, but a shared witness (one cycle seen from several packages) can
+// still surface twice; CI artifact diffs need exactly one copy. The
+// input must already be sorted (ApplySuppressions output).
+func Dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := diags[i-1]
+			if p.Pos == d.Pos && p.Pass == d.Pass && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // inPackages builds a Scope matcher over exact import paths.

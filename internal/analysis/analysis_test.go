@@ -97,6 +97,54 @@ func TestGoLeak(t *testing.T) { runFixture(t, NewGoLeak(), "goleak") }
 
 func TestChanLife(t *testing.T) { runFixture(t, NewChanLife(), "chanlife") }
 
+func TestLockOrder(t *testing.T) { runFixture(t, NewLockOrder(), "lockorder") }
+
+func TestRPCFlow(t *testing.T) { runFixture(t, NewRPCFlow(), "rpcflow") }
+
+func TestRetrySafe(t *testing.T) { runFixture(t, NewRetrySafe(), "retrysafe") }
+
+// TestLockOrderWitnessIsMultiHop pins the shape of the cycle report:
+// the reverse edge of the fixture's cycle is taken through two call
+// hops, and the witness chain in the message must spell those hops
+// out (the whole point of cross-function propagation).
+func TestLockOrderWitnessIsMultiHop(t *testing.T) {
+	pkg := loadFixture(t, "lockorder")
+	idx := NewIndex([]*Package{pkg})
+	diags := NewLockOrder().Run(pkg, idx)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	for _, hop := range []string{"debitViaHelper", "debit"} {
+		if !strings.Contains(msg, hop) {
+			t.Errorf("cycle message lacks call hop %q: %s", hop, msg)
+		}
+	}
+	if len(diags[0].Related) == 0 {
+		t.Error("cycle diagnostic has no related positions")
+	}
+}
+
+// TestRPCFlowWitnessIsMultiHop pins the same property for the
+// lock-held-across-hops report: the chain must name the intermediate
+// helper between the held lock and the wire Call.
+func TestRPCFlowWitnessIsMultiHop(t *testing.T) {
+	pkg := loadFixture(t, "rpcflow")
+	idx := NewIndex([]*Package{pkg})
+	for _, d := range NewRPCFlow().Run(pkg, idx) {
+		if !strings.Contains(d.Message, "held while calling") {
+			continue
+		}
+		for _, hop := range []string{"sync", "push", "Call"} {
+			if !strings.Contains(d.Message, hop) {
+				t.Errorf("witness chain lacks hop %q: %s", hop, d.Message)
+			}
+		}
+		return
+	}
+	t.Fatal("no held-while-calling diagnostic produced")
+}
+
 // TestMalformedSuppression: a reason-less marker suppresses nothing and
 // is itself reported, so suppressions cannot silently rot.
 func TestMalformedSuppression(t *testing.T) {
@@ -176,11 +224,23 @@ func TestWaiverBudget(t *testing.T) {
 	for _, p := range Passes() {
 		known[p.Name] = true
 	}
+	// Per-pass caps: a new waiver must fit its analyzer's cap, so a pass
+	// that is clean today (every pass not listed, cap zero) stays clean
+	// unless this table changes in review. The three protocol passes
+	// (lockorder, rpcflow, retrysafe) are deliberately capped at zero:
+	// their findings are fixed, never waived.
+	perPassBudget := map[string]int{
+		"errdrop":   9,
+		"lockblock": 1,
+		"sleepsync": 4,
+	}
+	byPass := make(map[string]int)
 	var internalN, exampleN int
 	for _, w := range Waivers(pkgs) {
 		if !known[w.Pass] {
 			t.Errorf("%s:%d: waiver cites unknown analyzer %q (use -list)", w.Pos.Filename, w.Pos.Line, w.Pass)
 		}
+		byPass[w.Pass]++
 		if strings.Contains(filepath.ToSlash(w.Pos.Filename), "/examples/") {
 			exampleN++
 		} else {
@@ -192,6 +252,11 @@ func TestWaiverBudget(t *testing.T) {
 	}
 	if exampleN != exampleBudget {
 		t.Errorf("examples waiver count = %d, budget %d (run malacolint -waivers for the list)", exampleN, exampleBudget)
+	}
+	for _, p := range Passes() {
+		if byPass[p.Name] != perPassBudget[p.Name] {
+			t.Errorf("pass %s waiver count = %d, cap %d (run malacolint -waivers for the list)", p.Name, byPass[p.Name], perPassBudget[p.Name])
+		}
 	}
 }
 
@@ -213,5 +278,81 @@ func TestNoLockblockWaiversInRados(t *testing.T) {
 				t.Errorf("%s:%d: lockblock waiver found in internal/rados; the pipelined write path must hold no lock across RPCs", s.file, s.line)
 			}
 		}
+	}
+}
+
+// TestCrossPackageFacts pins the cross-package fact propagation the
+// three protocol passes share, against the real tree:
+//
+//   - the OSD's op handler synchronously reaches the monitor's handler
+//     through the mon client stub, so the wait-for graph gets an
+//     rados->mon daemon edge with a multi-hop witness chain;
+//   - the rados client's do() is recognized as a retry wrapper
+//     (Backoff pacing plus a reachable wire Call);
+//   - OpAppend classifies as read-modify-write on its own, and the
+//     OpID replay-cache gateway in handleOp upgrades it to versioned —
+//     the regression pin for the duplicate-apply fix. If this fails,
+//     either the replay cache or the gateway recognizer regressed.
+func TestCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-internal load is not short")
+	}
+	pkgs, err := Load(moduleRoot(t), []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(pkgs)
+
+	eps := listenEndpoints(idx)
+	edges := daemonEdges(idx, eps)
+	const (
+		osdHandle = "(*repro/internal/rados.OSD).handle"
+		monHandle = "(*repro/internal/mon.Monitor).handle"
+	)
+	found := false
+	for _, e := range edges {
+		if e.from != osdHandle || e.to != monHandle {
+			continue
+		}
+		found = true
+		if len(e.chain) < 2 {
+			t.Errorf("OSD->Monitor edge has a %d-step chain, want a multi-hop witness: %s", len(e.chain), renderChain(e.chain))
+		}
+	}
+	if !found {
+		var have []string
+		for _, e := range edges {
+			have = append(have, e.from+" -> "+e.to)
+		}
+		t.Errorf("no OSD->Monitor daemon edge; edges:\n%s", strings.Join(have, "\n"))
+	}
+
+	wrappers := retryWrappers(idx, rpcSummaries(idx))
+	if _, ok := wrappers["(*repro/internal/rados.Client).do"]; !ok {
+		t.Error("rados.(*Client).do not recognized as a retry wrapper (Backoff + wire Call)")
+	}
+
+	facts := classifyOps(idx)
+	if f := facts["repro/internal/rados.OpAppend"]; f.class != classRMW {
+		t.Errorf("OpAppend pre-upgrade class = %v, want %v", f.class, classRMW)
+	}
+	upgradeReplayGuarded(idx, facts)
+	if f := facts["repro/internal/rados.OpAppend"]; f.class != classVersioned {
+		t.Errorf("OpAppend post-upgrade class = %v, want %v (handleOp's OpID replay gateway must cover applyOp)", f.class, classVersioned)
+	}
+}
+
+// TestNoIdempotencyMarksInRados pins the replay-cache fix the same way
+// TestNoLockblockWaiversInRados pins the pipelined write path: the
+// rados package satisfies retrysafe outright, with zero
+// //rpc:idempotent-because justifications. Resend safety comes from
+// the OpID replay cache, not from an annotation.
+func TestNoIdempotencyMarksInRados(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), []string{"./internal/rados"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range idempotencyMarks(NewIndex(pkgs)) {
+		t.Errorf("%s:%d: idempotency justification found in internal/rados; the replay cache must make them unnecessary", k.file, k.line)
 	}
 }

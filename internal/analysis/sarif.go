@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SARIF renders diagnostics as a minimal SARIF 2.1.0 log, one rule per
+// pass, so findings can be uploaded to code-scanning UIs and annotate
+// pull requests inline. Witness paths (Diagnostic.Related) become
+// relatedLocations. The relPath function maps absolute filenames to the
+// repository-relative URIs SARIF consumers expect.
+func SARIF(diags []Diagnostic, relPath func(string) string) ([]byte, error) {
+	type artifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type region struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           region           `json:"region"`
+	}
+	type message struct {
+		Text string `json:"text"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+		Message          *message         `json:"message,omitempty"`
+	}
+	type result struct {
+		RuleID           string     `json:"ruleId"`
+		Level            string     `json:"level"`
+		Message          message    `json:"message"`
+		Locations        []location `json:"locations"`
+		RelatedLocations []location `json:"relatedLocations,omitempty"`
+	}
+	type ruleDesc struct {
+		ID               string  `json:"id"`
+		ShortDescription message `json:"shortDescription"`
+	}
+	type driver struct {
+		Name           string     `json:"name"`
+		InformationURI string     `json:"informationUri,omitempty"`
+		Rules          []ruleDesc `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type run struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []run  `json:"runs"`
+	}
+
+	// Every pass is listed as a rule even when it has no findings, so a
+	// clean run still documents what was checked (and the log validates:
+	// rules is an array, never null).
+	rules := []ruleDesc{}
+	for _, p := range Passes() {
+		rules = append(rules, ruleDesc{ID: p.Name, ShortDescription: message{Text: p.Doc}})
+	}
+	results := []result{}
+	loc := func(file string, line, col int, note string) location {
+		l := location{PhysicalLocation: physicalLocation{
+			ArtifactLocation: artifactLocation{URI: relPath(file)},
+			Region:           region{StartLine: line, StartColumn: col},
+		}}
+		if note != "" {
+			l.Message = &message{Text: note}
+		}
+		return l
+	}
+	for _, d := range diags {
+		r := result{
+			RuleID:    d.Pass,
+			Level:     "error",
+			Message:   message{Text: d.Message},
+			Locations: []location{loc(d.Pos.Filename, d.Pos.Line, d.Pos.Column, "")},
+		}
+		for _, rel := range d.Related {
+			r.RelatedLocations = append(r.RelatedLocations, loc(rel.Pos.Filename, rel.Pos.Line, rel.Pos.Column, rel.Note))
+		}
+		results = append(results, r)
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	out := log{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []run{{
+			Tool:    tool{Driver: driver{Name: "malacolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sarifLog mirrors just enough of the SARIF 2.1.0 shape to assert on.
+type sarifLog struct {
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+			RelatedLocations []struct {
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"relatedLocations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestSARIFCarriesWitnessChains renders the lockorder and rpcflow
+// fixture findings as SARIF and checks the structural contract the
+// upload workflow depends on: one rule per pass, a primary location
+// per result, and the multi-hop witness path preserved as
+// relatedLocations — not just flattened into the message text.
+func TestSARIFCarriesWitnessChains(t *testing.T) {
+	var diags []Diagnostic
+	for _, fx := range []struct {
+		pass *Pass
+		dir  string
+	}{
+		{NewLockOrder(), "lockorder"},
+		{NewRPCFlow(), "rpcflow"},
+	} {
+		pkg := loadFixture(t, fx.dir)
+		idx := NewIndex([]*Package{pkg})
+		diags = append(diags, fx.pass.Run(pkg, idx)...)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixtures produced no diagnostics")
+	}
+
+	out, err := SARIF(diags, func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "malacolint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, want := range []string{"lockorder", "rpcflow"} {
+		if !rules[want] {
+			t.Errorf("missing rule %q in driver rules", want)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("%d results for %d diagnostics", len(run.Results), len(diags))
+	}
+	multiHop := 0
+	for _, r := range run.Results {
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %q lacks a primary location", r.RuleID)
+		}
+		if len(r.RelatedLocations) >= 2 {
+			multiHop++
+		}
+	}
+	if multiHop == 0 {
+		t.Error("no result carries a multi-step witness in relatedLocations")
+	}
+}
+
+// TestSARIFEmptyResults: a clean run must serialize results as an
+// empty array, not null — upload actions reject the latter.
+func TestSARIFEmptyResults(t *testing.T) {
+	out, err := SARIF(nil, func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"results": []`) {
+		t.Errorf("empty run did not serialize results as []:\n%s", out)
+	}
+}
+
+// TestDedupe: adjacent identical (position, pass, message) triples
+// collapse to one; distinct ones survive.
+func TestDedupe(t *testing.T) {
+	d := func(line int, pass, msg string) Diagnostic {
+		dg := Diagnostic{Pass: pass, Message: msg}
+		dg.Pos.Filename = "f.go"
+		dg.Pos.Line = line
+		return dg
+	}
+	in := []Diagnostic{
+		d(1, "lockorder", "cycle"),
+		d(1, "lockorder", "cycle"),
+		d(1, "rpcflow", "cycle"),
+		d(2, "lockorder", "cycle"),
+	}
+	got := Dedupe(in)
+	if len(got) != 3 {
+		t.Fatalf("Dedupe kept %d of 4, want 3: %v", len(got), got)
+	}
+}

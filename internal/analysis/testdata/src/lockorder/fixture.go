@@ -1,0 +1,61 @@
+// Fixture for the lockorder pass: the whole-program lock-acquisition
+// graph must be acyclic. accountA.mu -> accountB.mu is taken directly
+// in transferAB; the reverse edge is taken in transferBA through two
+// call hops, so the cycle report carries a multi-hop witness chain.
+package lockorder
+
+import "sync"
+
+type accountA struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type accountB struct {
+	mu  sync.Mutex
+	bal int
+}
+
+// Bad half of the cycle: A then B, directly.
+func transferAB(a *accountA, b *accountB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.bal++
+	b.mu.Unlock()
+	a.bal--
+}
+
+// debit acquires A's lock on its own.
+func debit(a *accountA) {
+	a.mu.Lock()
+	a.bal--
+	a.mu.Unlock()
+}
+
+// debitViaHelper adds a call hop between the held lock and the
+// acquisition, so the reverse edge needs summary propagation.
+func debitViaHelper(a *accountA) {
+	debit(a)
+}
+
+// Bad half of the cycle: B held while A is acquired two hops away.
+func transferBA(a *accountA, b *accountB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	debitViaHelper(a)
+	b.bal++
+}
+
+// Good: the same pair in a consistent order on another path does not
+// add new edges, and releasing before the next acquisition makes no
+// edge at all.
+func audit(a *accountA, b *accountB) int {
+	a.mu.Lock()
+	x := a.bal
+	a.mu.Unlock()
+	b.mu.Lock()
+	x += b.bal
+	b.mu.Unlock()
+	return x
+}

@@ -429,6 +429,39 @@ func TestClientModeCoherenceTaxesOrigin(t *testing.T) {
 	}
 }
 
+// TestCoherenceConsultIsSingleHop pins the wait-for-cycle fix found by
+// the rpcflow analyzer: a coherence consult runs inside the sender's
+// handler, so the receiving rank must terminate it — a consult that
+// could cascade to a third rank would let two ranks block on each
+// other. The Terminal marker makes the protocol single-hop by
+// construction: unmarked consults are refused, marked ones are acked
+// without any outgoing call.
+func TestCoherenceConsultIsSingleHop(t *testing.T) {
+	c := boot(t, core.Options{
+		MDSs: 1, OSDs: 2,
+		MDS: mds.Config{CoherenceTime: time.Microsecond},
+	})
+	ctx := ctxT(t, 10*time.Second)
+
+	resp, err := c.Net.Call(ctx, "client.probe", mds.MDSAddr(0),
+		mds.CoherenceMsg{Path: "/seq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, _ := resp.(bool); acked {
+		t.Fatal("unmarked coherence consult was acked; it must be refused")
+	}
+
+	resp, err = c.Net.Call(ctx, "client.probe", mds.MDSAddr(0),
+		mds.CoherenceMsg{Path: "/seq", Terminal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, _ := resp.(bool); !acked {
+		t.Fatal("terminal coherence consult was refused")
+	}
+}
+
 func TestBalancerMigratesHotSequencers(t *testing.T) {
 	c := boot(t, core.Options{
 		MDSs: 3, OSDs: 2,

@@ -256,6 +256,11 @@ func (s *Server) handle(ctx context.Context, from wire.Addr, req any) (any, erro
 	case ExportMsg:
 		return s.handleImport(r), nil
 	case CoherenceMsg:
+		if !r.Terminal {
+			// Consults are single-hop by protocol; refuse anything
+			// unmarked rather than risk cascading to a third rank.
+			return false, nil
+		}
 		s.work(s.cfg.CoherenceTime)
 		s.countOp()
 		return true, nil
@@ -443,7 +448,7 @@ func (s *Server) coherence(ctx context.Context, ino *inode) {
 	cctx, cancel := context.WithTimeout(ctx, time.Second)
 	defer cancel()
 	//lint:ignore errdrop the coherence round-trip exists to burn simulated time; a lost one only undercounts the tax
-	_, _ = s.net.Call(cctx, s.Addr(), MDSAddr(origin), CoherenceMsg{Path: ino.Path})
+	_, _ = s.net.Call(cctx, s.Addr(), MDSAddr(origin), CoherenceMsg{Path: ino.Path, Terminal: true})
 }
 
 // advance increments the sequencer value server-side, first reclaiming

@@ -265,7 +265,14 @@ type ExportAck struct{ OK bool }
 
 // CoherenceMsg is the per-access scatter-gather a client-mode import
 // sends back to the former authority.
-type CoherenceMsg struct{ Path string }
+type CoherenceMsg struct {
+	Path string
+	// Terminal marks the consult as the final hop: the authority
+	// accounts the coherence tax and acks without consulting anyone
+	// else, so the scatter-gather protocol is single-hop by
+	// construction and can never form a wait-for cycle between ranks.
+	Terminal bool
+}
 
 // ---- helpers ----
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mon"
@@ -21,6 +22,10 @@ type Client struct {
 	self wire.Addr
 	monc *mon.Client
 
+	// opSeq numbers logical operations for the primaries' replay caches;
+	// with the client's own address it forms the duplicate-detection key.
+	opSeq atomic.Uint64
+
 	mu     sync.Mutex
 	osdMap *types.OSDMap // guarded by mu
 
@@ -30,14 +35,22 @@ type Client struct {
 	listening bool                    // guarded by mu
 }
 
+// clientIncarnation separates the OpID streams of successive Client
+// instances that reuse one wire address: without it a recreated client
+// would restart numbering at 1 and its fresh ops would hit a
+// predecessor's entries in the primaries' replay caches.
+var clientIncarnation atomic.Uint64
+
 // NewClient builds a client identified as self on the fabric.
 func NewClient(net *wire.Network, self wire.Addr, mons []int) *Client {
-	return &Client{
+	c := &Client{
 		net:    net,
 		self:   self,
 		monc:   mon.NewClient(net, self, mons),
 		osdMap: types.NewOSDMap(),
 	}
+	c.opSeq.Store(clientIncarnation.Add(1) << 40)
+	return c
 }
 
 // Mon exposes the underlying monitor client (for service metadata and
@@ -79,6 +92,10 @@ func (c *Client) CachedMap() *types.OSDMap {
 // with jitter so a cluster mid-reconfiguration is not hammered.
 func (c *Client) do(ctx context.Context, req OpRequest) (OpReply, error) {
 	const maxRetries = 5
+	// One OpID for every resend of this logical operation: a retry after
+	// a lost ack becomes a replay-cache hit on the primary, not a second
+	// application of a non-idempotent op (append, class call).
+	req.OpID = c.opSeq.Add(1)
 	var last OpReply
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		if attempt > 1 {

@@ -88,6 +88,16 @@ type OSD struct {
 
 	scrubRepairs int // guarded by mu
 
+	// Replay cache: the recorded reply for each recently applied
+	// client mutation, keyed by (client address, OpID). A resend of an
+	// operation whose ack was lost returns the cached reply instead of
+	// re-applying — the server half of exactly-once for non-idempotent
+	// ops. Bounded FIFO; an evicted entry degrades to at-least-once,
+	// which the version stamps and scrub then reconcile.
+	replayMu  sync.Mutex
+	replay    map[replayKey]OpReply // guarded by replayMu
+	replayLog []replayKey           // guarded by replayMu; FIFO eviction order
+
 	// Lifecycle: Stop -> Start is a supported restart cycle (the crashed
 	// daemon rejoining the cluster); stopCh is replaced on each Start so
 	// background loops always select on the channel of their own
@@ -110,6 +120,7 @@ func NewOSD(net *wire.Network, cfg OSDConfig) *OSD {
 		watchers:  newWatcherTable(),
 		osdMap:    types.NewOSDMap(),
 		pgs:       make(map[PGID]*pg),
+		replay:    make(map[replayKey]OpReply),
 		classLive: make(map[string]uint64),
 		stopCh:    make(chan struct{}),
 	}
@@ -220,7 +231,7 @@ func (o *OSD) Epoch() types.Epoch {
 func (o *OSD) handle(ctx context.Context, from wire.Addr, req any) (any, error) {
 	switch r := req.(type) {
 	case OpRequest:
-		return o.handleOp(ctx, r), nil
+		return o.handleOp(ctx, from, r), nil
 	case mon.MapNotify:
 		if r.OSD != nil {
 			o.updateMap(r.OSD)
@@ -383,6 +394,41 @@ func (o *OSD) applyBackfill(b backfillMsg) {
 		}
 		e.mu.Unlock()
 	}
+}
+
+// replayCacheSize bounds the per-daemon replay cache; old entries are
+// evicted first-in-first-out.
+const replayCacheSize = 1024
+
+// replayKey identifies one logical client operation at the primary.
+type replayKey struct {
+	from wire.Addr
+	id   uint64
+}
+
+// replayGet returns the recorded reply for a duplicate delivery.
+func (o *OSD) replayGet(from wire.Addr, id uint64) (OpReply, bool) {
+	o.replayMu.Lock()
+	defer o.replayMu.Unlock()
+	rep, ok := o.replay[replayKey{from: from, id: id}]
+	return rep, ok
+}
+
+// replayPut records the reply of an applied mutation, evicting the
+// oldest entry once the cache is full.
+func (o *OSD) replayPut(from wire.Addr, id uint64, rep OpReply) {
+	o.replayMu.Lock()
+	defer o.replayMu.Unlock()
+	k := replayKey{from: from, id: id}
+	if _, ok := o.replay[k]; ok {
+		return
+	}
+	if len(o.replayLog) >= replayCacheSize {
+		delete(o.replay, o.replayLog[0])
+		o.replayLog = o.replayLog[1:]
+	}
+	o.replay[k] = rep
+	o.replayLog = append(o.replayLog, k)
 }
 
 func (o *OSD) getPG(id PGID) *pg {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // handleOp services one object operation. The epoch discipline follows
@@ -13,7 +14,7 @@ import (
 // (forcing a resync before I/O continues — the mechanism ZLog's seal
 // protocol leans on); a request carrying a newer epoch makes this daemon
 // pull the latest map before proceeding.
-func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
+func (o *OSD) handleOp(ctx context.Context, from wire.Addr, req OpRequest) OpReply {
 	if req.Epoch > o.Epoch() {
 		if m, err := o.monc.GetOSDMap(ctx); err == nil {
 			o.updateMap(m)
@@ -53,12 +54,22 @@ func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
 		return OpReply{Result: EMapStale, Detail: "not primary for object", Epoch: m.Epoch}
 	}
 
+	// Duplicate-delivery check: a client resend of an operation whose ack
+	// was lost must observe the recorded outcome, not re-apply it. Only
+	// the epoch is refreshed — the rest of the reply is the original.
+	if req.OpID != 0 && !req.Replica {
+		if rep, ok := o.replayGet(from, req.OpID); ok {
+			rep.Epoch = m.Epoch
+			return rep
+		}
+	}
+
 	p := o.getPG(PGID{Pool: req.Pool, PG: pgnum})
 	if req.Replica {
 		return o.applyReplicaOp(ctx, p, req, m)
 	}
 	if o.cfg.Replication == ReplicateSerial {
-		return o.doSerialOp(ctx, p, req, m, acting)
+		return o.doSerialOp(ctx, from, p, req, m, acting)
 	}
 
 	// Pipelined primary path: apply locally under the object's own lock,
@@ -72,6 +83,9 @@ func (o *OSD) handleOp(ctx context.Context, req OpRequest) OpReply {
 	e.mu.Unlock()
 	reply.Epoch = m.Epoch
 	if mutated && reply.Result == OK {
+		if req.OpID != 0 {
+			o.replayPut(from, req.OpID, reply)
+		}
 		o.replicate(ctx, req, acting[1:], m.Epoch, prev, reply.Version)
 	}
 	return reply
@@ -115,7 +129,7 @@ func (o *OSD) replicate(ctx context.Context, req OpRequest, peers []int, epoch t
 // unrelated objects blocked behind it. The window is a channel token
 // rather than a held mutex, so the lock-across-RPC invariant holds here
 // too.
-func (o *OSD) doSerialOp(ctx context.Context, p *pg, req OpRequest, m *types.OSDMap, acting []int) OpReply {
+func (o *OSD) doSerialOp(ctx context.Context, from wire.Addr, p *pg, req OpRequest, m *types.OSDMap, acting []int) OpReply {
 	select {
 	case p.admit <- struct{}{}:
 	case <-ctx.Done():
@@ -130,6 +144,9 @@ func (o *OSD) doSerialOp(ctx context.Context, p *pg, req OpRequest, m *types.OSD
 	e.mu.Unlock()
 	reply.Epoch = m.Epoch
 	if mutated && reply.Result == OK {
+		if req.OpID != 0 {
+			o.replayPut(from, req.OpID, reply)
+		}
 		fwd := req
 		fwd.Replica = true
 		fwd.Epoch = m.Epoch

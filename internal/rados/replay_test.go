@@ -1,0 +1,151 @@
+package rados
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestReplayCacheDedupesResends pins the duplicate-apply fix: a client
+// resend of a non-idempotent op (an append whose ack was lost) must
+// hit the primary's replay cache, not apply twice. The test plays the
+// client role directly so the second delivery is a byte-identical
+// duplicate of the first, exactly what do() emits after a lost reply.
+func TestReplayCacheDedupesResends(t *testing.T) {
+	tc := bootCluster(t, 3, 2)
+	ctx := ctxT(t, 10*time.Second)
+
+	if err := tc.client.WriteFull(ctx, "data", "log", []byte("base-")); err != nil {
+		t.Fatal(err)
+	}
+	m := tc.client.CachedMap()
+	_, acting, err := Locate(m, "data", "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := OpRequest{
+		Pool: "data", Object: "log",
+		Epoch: m.Epoch, Op: OpAppend,
+		Data: []byte("once"),
+		OpID: 12345,
+	}
+	deliver := func() OpReply {
+		t.Helper()
+		resp, err := tc.net.Call(ctx, "client.0", OSDAddr(acting[0]), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, ok := resp.(OpReply)
+		if !ok || rep.Result != OK {
+			t.Fatalf("append reply = %+v", resp)
+		}
+		return rep
+	}
+
+	first := deliver()
+	second := deliver()
+	if second.Version != first.Version {
+		t.Fatalf("resend applied again: version %d, first delivery stamped %d", second.Version, first.Version)
+	}
+
+	got, err := tc.client.Read(ctx, "data", "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "base-once" {
+		t.Fatalf("read %q, want %q (duplicate delivery must not double-append)", got, "base-once")
+	}
+}
+
+// TestReplayCacheScopedToSender: the cache key is (sender, OpID), so
+// two different clients reusing an OpID are distinct operations.
+func TestReplayCacheScopedToSender(t *testing.T) {
+	tc := bootCluster(t, 3, 2)
+	ctx := ctxT(t, 10*time.Second)
+
+	if err := tc.client.Create(ctx, "data", "log"); err != nil {
+		t.Fatal(err)
+	}
+	m := tc.client.CachedMap()
+	_, acting, err := Locate(m, "data", "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := OpRequest{
+		Pool: "data", Object: "log",
+		Epoch: m.Epoch, Op: OpAppend,
+		Data: []byte("x"),
+		OpID: 7,
+	}
+	for _, from := range []wire.Addr{"client.a", "client.b"} {
+		resp, err := tc.net.Call(ctx, from, OSDAddr(acting[0]), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := resp.(OpReply); rep.Result != OK {
+			t.Fatalf("append from %s = %+v", from, rep)
+		}
+	}
+	got, err := tc.client.Read(ctx, "data", "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "xx" {
+		t.Fatalf("read %q, want %q (distinct senders are distinct operations)", got, "xx")
+	}
+}
+
+// TestReplayCacheSurvivesClientRestart: a recreated Client reusing its
+// predecessor's wire address must not collide with the predecessor's
+// OpIDs — each Client instance stamps ops in a disjoint incarnation
+// range, so the second client's appends apply instead of being
+// answered from the replay cache. (Caught by internal/query's
+// property test, which opens a fresh client per table at one address.)
+func TestReplayCacheSurvivesClientRestart(t *testing.T) {
+	tc := bootCluster(t, 3, 2)
+	ctx := ctxT(t, 10*time.Second)
+
+	for i, cl := range []*Client{
+		NewClient(tc.net, "client.q", []int{0}),
+		NewClient(tc.net, "client.q", []int{0}),
+	} {
+		if err := cl.RefreshMap(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Append(ctx, "data", "log", []byte{byte('a' + i)}); err != nil {
+			t.Fatalf("client %d append: %v", i, err)
+		}
+	}
+	got, err := tc.client.Read(ctx, "data", "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ab" {
+		t.Fatalf("read %q, want %q (restarted client's ops must not replay-hit its predecessor's)", got, "ab")
+	}
+}
+
+// TestReplayCacheEviction exercises the bounded FIFO directly: the
+// oldest entry leaves once the cache is full, and re-recording an
+// existing key is a no-op.
+func TestReplayCacheEviction(t *testing.T) {
+	o := NewOSD(wire.NewNetwork(), OSDConfig{ID: 0, Mons: []int{0}})
+	for i := 0; i < replayCacheSize+1; i++ {
+		o.replayPut("client.0", uint64(i+1), OpReply{Result: OK, Version: uint64(i + 1)})
+	}
+	if _, ok := o.replayGet("client.0", 1); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if rep, ok := o.replayGet("client.0", 2); !ok || rep.Version != 2 {
+		t.Errorf("second entry = %+v ok=%v, want version 2", rep, ok)
+	}
+	// Re-recording must not overwrite: the first reply is the one the
+	// first delivery returned.
+	o.replayPut("client.0", 2, OpReply{Result: OK, Version: 999})
+	if rep, _ := o.replayGet("client.0", 2); rep.Version != 2 {
+		t.Errorf("duplicate record overwrote the cached reply: %+v", rep)
+	}
+}

@@ -121,6 +121,12 @@ type OpRequest struct {
 	// placement changes are observed before I/O continues.
 	Epoch types.Epoch
 	Op    OpCode
+	// OpID identifies one logical client operation across resends: the
+	// client stamps it once before its retry loop, and the primary's
+	// replay cache returns the recorded reply for a duplicate (from,
+	// OpID) instead of re-applying a non-idempotent mutation (an append
+	// whose ack was lost must not double-apply). Zero means unstamped.
+	OpID uint64
 
 	Data   []byte            // write-full / append payload
 	Key    string            // omap/xattr key
