@@ -58,13 +58,16 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # One iteration of every benchmark so they cannot rot; part of ci.
+# internal/script rides along for the VM microbenches.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/script/
 
 # Record the serial-vs-batched append comparison (PR 2's acceptance
-# numbers) in BENCH_pr2.json, and the serial-vs-pipelined replicated
+# numbers) in BENCH_pr2.json, the serial-vs-pipelined replicated
 # write comparison plus the ZLog end-to-end number (PR 3's) in
-# BENCH_pr3.json.
+# BENCH_pr3.json, and the interpreter-vs-VM policy script plus the
+# legacy-vs-warm OpCall comparison (PR 7's, with -benchmem so the
+# allocation criterion is recorded) in BENCH_pr7.json.
 bench-json:
 	$(GO) test -run=^$$ -bench='^BenchmarkZLogAppend(Serial|Batch)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pr2.json
@@ -72,6 +75,9 @@ bench-json:
 	$(GO) test -run=^$$ -bench='^Benchmark(RadosWrite(Serial|Pipelined)|ZLogAppendReplicated)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pr3.json
 	@cat BENCH_pr3.json
+	$(GO) test -run=^$$ -bench='^Benchmark(Script(Interp|VM)|OpCall(Legacy|Warm))$$' -benchmem -benchtime=1s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_pr7.json
+	@cat BENCH_pr7.json
 
 # Cluster-wide fault injection: boots a full cluster per scenario,
 # injects the seeded fault script under client load, and audits the
@@ -90,7 +96,8 @@ chaos-race:
 cover:
 	$(GO) test -count=1 -coverprofile=coverage.out \
 		./internal/wire/ ./internal/rados/ ./internal/paxos/ \
-		./internal/mon/ ./internal/mds/ ./internal/zlog/
+		./internal/mon/ ./internal/mds/ ./internal/zlog/ \
+		./internal/script/
 	$(GO) run ./cmd/covercheck -profile coverage.out
 
 # Bench-regression gate: rerun the PR 2 and PR 3 benchmark pairs and
@@ -102,5 +109,7 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_pr2.json -tolerance 0.30
 	$(GO) test -run=^$$ -bench='^Benchmark(RadosWrite(Serial|Pipelined)|ZLogAppendReplicated)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pr3.json -tolerance 0.30
+	$(GO) test -run=^$$ -bench='^Benchmark(Script(Interp|VM)|OpCall(Legacy|Warm))$$' -benchmem -benchtime=1s . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_pr7.json -tolerance 0.30
 
 ci: build vet lint-sarif lint-fixtures race bench-smoke chaos cover bench-compare

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mantle"
 	"repro/internal/mds"
 	"repro/internal/rados"
+	"repro/internal/script"
 	"repro/internal/types"
 	"repro/internal/wire"
 	"repro/internal/zlog"
@@ -547,4 +548,118 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// benchPolicyInput builds the ~16-rank tick input the fig-8 addendum
+// policy benchmarks evaluate PolicySequencer against.
+func benchPolicyGlobals(ip *script.Interp) {
+	mdsTbl := script.NewTable()
+	for rank := 0; rank < 16; rank++ {
+		row := script.NewTable()
+		load := 50.0
+		if rank == 0 {
+			load = 300
+		}
+		row.Set("load", load)          //nolint:errcheck
+		mdsTbl.Set(float64(rank), row) //nolint:errcheck
+	}
+	ip.SetGlobal("mds", mdsTbl)
+	ip.SetGlobal("whoami", 0.0)
+	ip.SetGlobal("targets", script.NewTable())
+	ip.SetGlobal("mode", "client")
+}
+
+// BenchmarkScriptInterp is the tree-walking engine on the Figure 8 /
+// §6.2.3 policy workload: evaluate PolicySequencer (cached AST) and its
+// when() predicate against 16 ranks. Baseline for speedup_vm_over_interp
+// in BENCH_pr7.json.
+func BenchmarkScriptInterp(b *testing.B) {
+	blk, err := script.Parse(mantle.PolicySequencer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip := script.New()
+	benchPolicyGlobals(ip)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Exec(blk); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ip.Call(ip.Global("when")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScriptVM is the same workload on the bytecode VM (compiled
+// once, pooled activations). The ratio over BenchmarkScriptInterp is
+// gated at >= 3x by `make bench-compare`.
+func BenchmarkScriptVM(b *testing.B) {
+	chunk, err := script.Compile(mantle.PolicySequencer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip := script.New()
+	benchPolicyGlobals(ip)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chunk.Run(ip); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ip.Call(ip.Global("when")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOpCall drives rc.Call for a script class through a booted
+// cluster under the selected class-execution engine. ns/op and
+// allocs/op between the Legacy and Warm variants isolate what the
+// compiled cache and pooled binding save per OpCall.
+func benchOpCall(b *testing.B, mode rados.ClassExecMode) {
+	cluster := bootB(b, core.Options{
+		OSDs: 2, Pools: []string{"data"}, Replicas: 1,
+		OSD: rados.OSDConfig{ClassExec: mode},
+	})
+	ctx := context.Background()
+	rc := cluster.NewRadosClient("client.bench")
+	monc := cluster.NewMonClient("client.bench.mon")
+	src := `
+function touch(cls)
+	local v = tonumber(cls.omap_get("n")) or 0
+	cls.omap_set("n", tostring(v + 1))
+	return tostring(v + 1)
+end
+`
+	if err := monc.InstallClass(ctx, "bench", src, "other"); err != nil {
+		b.Fatal(err)
+	}
+	if err := rc.RefreshMap(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rc.Call(ctx, "data", "o", "bench", "touch", nil); err != nil {
+		b.Fatal(err) // warm: class propagated, caches primed
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Call(ctx, "data", "o", "bench", "touch", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpCallLegacy: per-call tree-walk with fresh interpreter and
+// freshly bound ctx table (the pre-PR engine).
+func BenchmarkOpCallLegacy(b *testing.B) {
+	benchOpCall(b, rados.ClassExecLegacy)
+}
+
+// BenchmarkOpCallWarm: warm-cache compiled engine — zero parse/compile
+// per call, pooled VM, rebound ctx table. Strictly fewer allocations
+// than Legacy (gated via BENCH_pr7.json by `make bench-compare`).
+func BenchmarkOpCallWarm(b *testing.B) {
+	benchOpCall(b, rados.ClassExecCompiled)
 }

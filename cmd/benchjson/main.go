@@ -23,12 +23,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. BytesPerOp/AllocsPerOp are
+// filled when the run used -benchmem (and are omitted otherwise, so
+// older baselines unmarshal unchanged).
 type Result struct {
-	Name      string  `json:"name"`
-	Iters     int64   `json:"iters"`
-	NsPerOp   float64 `json:"ns_per_op"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Summary is the emitted document. Each speedup field is filled when
@@ -36,14 +40,23 @@ type Result struct {
 // ZLogAppendSerial/ZLogAppendBatch (PR-2 criterion, >= 5x at batch 64);
 // SpeedupPipelinedOverSerial pairs RadosWriteSerial/RadosWritePipelined
 // (PR-3 criterion, >= 2x at replicas=3, same fabric latency).
+// SpeedupVMOverInterp pairs ScriptInterp/ScriptVM (PR-7 criterion,
+// >= 3x on the fig-8 policy script); AllocRatioOpCallLegacyOverWarm
+// pairs OpCallLegacy/OpCallWarm allocs/op (PR-7 criterion: the warm
+// compiled-cache path must allocate strictly less than the
+// parse-per-call path, i.e. ratio > 1).
 type Summary struct {
-	Benchmarks                 []Result `json:"benchmarks"`
-	SpeedupBatchOverSerial     float64  `json:"speedup_batch_over_serial,omitempty"`
-	SpeedupPipelinedOverSerial float64  `json:"speedup_pipelined_over_serial,omitempty"`
+	Benchmarks                     []Result `json:"benchmarks"`
+	SpeedupBatchOverSerial         float64  `json:"speedup_batch_over_serial,omitempty"`
+	SpeedupPipelinedOverSerial     float64  `json:"speedup_pipelined_over_serial,omitempty"`
+	SpeedupVMOverInterp            float64  `json:"speedup_vm_over_interp,omitempty"`
+	SpeedupOpCallWarmOverLegacy    float64  `json:"speedup_opcall_warm_over_legacy,omitempty"`
+	AllocRatioOpCallLegacyOverWarm float64  `json:"alloc_ratio_opcall_legacy_over_warm,omitempty"`
 }
 
-// benchLine matches e.g. "BenchmarkZLogAppendBatch-8   12315   96857 ns/op".
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine matches e.g. "BenchmarkZLogAppendBatch-8   12315   96857 ns/op"
+// with optional -benchmem columns "2696 B/op   100 allocs/op".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // Parse extracts benchmark results from `go test -bench` output.
 func Parse(r io.Reader) ([]Result, error) {
@@ -67,6 +80,10 @@ func Parse(r io.Reader) ([]Result, error) {
 		if ns > 0 {
 			res.OpsPerSec = 1e9 / ns
 		}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
 		out = append(out, res)
 	}
 	if err := sc.Err(); err != nil {
@@ -78,7 +95,8 @@ func Parse(r io.Reader) ([]Result, error) {
 // Summarize derives the cross-benchmark metrics from parsed results.
 func Summarize(results []Result) Summary {
 	s := Summary{Benchmarks: results}
-	var serial, batch, wserial, wpipe float64
+	var serial, batch, wserial, wpipe, interp, vm, oclegacy, ocwarm float64
+	var oclegacyAllocs, ocwarmAllocs int64
 	for _, r := range results {
 		switch r.Name {
 		case "ZLogAppendSerial":
@@ -89,6 +107,16 @@ func Summarize(results []Result) Summary {
 			wserial = r.NsPerOp
 		case "RadosWritePipelined":
 			wpipe = r.NsPerOp
+		case "ScriptInterp":
+			interp = r.NsPerOp
+		case "ScriptVM":
+			vm = r.NsPerOp
+		case "OpCallLegacy":
+			oclegacy = r.NsPerOp
+			oclegacyAllocs = r.AllocsPerOp
+		case "OpCallWarm":
+			ocwarm = r.NsPerOp
+			ocwarmAllocs = r.AllocsPerOp
 		}
 	}
 	if serial > 0 && batch > 0 {
@@ -96,6 +124,15 @@ func Summarize(results []Result) Summary {
 	}
 	if wserial > 0 && wpipe > 0 {
 		s.SpeedupPipelinedOverSerial = wserial / wpipe
+	}
+	if interp > 0 && vm > 0 {
+		s.SpeedupVMOverInterp = interp / vm
+	}
+	if oclegacy > 0 && ocwarm > 0 {
+		s.SpeedupOpCallWarmOverLegacy = oclegacy / ocwarm
+	}
+	if oclegacyAllocs > 0 && ocwarmAllocs > 0 {
+		s.AllocRatioOpCallLegacyOverWarm = float64(oclegacyAllocs) / float64(ocwarmAllocs)
 	}
 	return s
 }
@@ -133,6 +170,16 @@ func speedups(s Summary) []metric {
 	}
 	if s.SpeedupPipelinedOverSerial > 0 {
 		out = append(out, metric{"speedup_pipelined_over_serial", s.SpeedupPipelinedOverSerial})
+	}
+	if s.SpeedupVMOverInterp > 0 {
+		out = append(out, metric{"speedup_vm_over_interp", s.SpeedupVMOverInterp})
+	}
+	// SpeedupOpCallWarmOverLegacy is informational only: the OpCall
+	// benchmarks boot a two-OSD cluster, so their ns ratio moves with
+	// host load. The allocation ratio below is the stable form of the
+	// same criterion (the warm path must allocate strictly less).
+	if s.AllocRatioOpCallLegacyOverWarm > 0 {
+		out = append(out, metric{"alloc_ratio_opcall_legacy_over_warm", s.AllocRatioOpCallLegacyOverWarm})
 	}
 	return out
 }

@@ -140,6 +140,89 @@ func TestCompareEmptyBaseline(t *testing.T) {
 	}
 }
 
+const vmSample = `goos: linux
+pkg: repro
+BenchmarkScriptInterp 	   21688	     54196 ns/op	   20136 B/op	     436 allocs/op
+BenchmarkScriptVM-8   	   64804	     16292 ns/op	    2696 B/op	     100 allocs/op
+BenchmarkOpCallLegacy 	   36668	     27954 ns/op	    8276 B/op	     152 allocs/op
+BenchmarkOpCallWarm   	  122488	      9206 ns/op	    1717 B/op	      47 allocs/op
+PASS
+`
+
+// TestParseBenchmem pins the -benchmem column parsing and the PR-7
+// derived metrics: the VM-over-interpreter speedup and the OpCall
+// legacy-over-warm allocation ratio.
+func TestParseBenchmem(t *testing.T) {
+	results, err := Parse(strings.NewReader(vmSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	if results[0].BytesPerOp != 20136 || results[0].AllocsPerOp != 436 {
+		t.Fatalf("benchmem columns = %+v", results[0])
+	}
+	if results[1].Name != "ScriptVM" || results[1].AllocsPerOp != 100 {
+		t.Fatalf("second result = %+v", results[1])
+	}
+
+	s := Summarize(results)
+	if want := 54196.0 / 16292.0; math.Abs(s.SpeedupVMOverInterp-want) > 1e-9 {
+		t.Fatalf("vm speedup = %f, want %f", s.SpeedupVMOverInterp, want)
+	}
+	if want := 27954.0 / 9206.0; math.Abs(s.SpeedupOpCallWarmOverLegacy-want) > 1e-9 {
+		t.Fatalf("opcall speedup = %f, want %f", s.SpeedupOpCallWarmOverLegacy, want)
+	}
+	if want := 152.0 / 47.0; math.Abs(s.AllocRatioOpCallLegacyOverWarm-want) > 1e-9 {
+		t.Fatalf("alloc ratio = %f, want %f", s.AllocRatioOpCallLegacyOverWarm, want)
+	}
+	// The opcall ns speedup stays informational (cluster benches are
+	// load-sensitive); only the vm speedup and alloc ratio are gated.
+	if got := speedups(s); len(got) != 2 {
+		t.Fatalf("speedups = %+v, want vm + alloc-ratio", got)
+	}
+}
+
+// TestParseWithoutBenchmem keeps plain (no -benchmem) output working:
+// the memory columns stay zero and no alloc metric is derived.
+func TestParseWithoutBenchmem(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+			t.Fatalf("memory columns from plain output = %+v", r)
+		}
+	}
+	if s := Summarize(results); s.AllocRatioOpCallLegacyOverWarm != 0 {
+		t.Fatalf("alloc ratio without benchmem = %f", s.AllocRatioOpCallLegacyOverWarm)
+	}
+}
+
+// TestCompareGatesAllocRatio injects an allocation regression into the
+// warm OpCall path (compiled-class cache silently re-parsing would
+// raise warm allocs) and checks the gate trips.
+func TestCompareGatesAllocRatio(t *testing.T) {
+	mk := func(warmAllocs int64) Summary {
+		return Summarize([]Result{
+			{Name: "OpCallLegacy", Iters: 1, NsPerOp: 27954, AllocsPerOp: 152},
+			{Name: "OpCallWarm", Iters: 1, NsPerOp: 9206, AllocsPerOp: warmAllocs},
+		})
+	}
+	baseline := mk(47)
+	lines, err := Compare(mk(50), baseline, 0.30)
+	if err != nil {
+		t.Fatalf("near-identical allocs failed the gate: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	// Warm path ballooning to legacy-level allocs: ratio collapses to ~1.
+	_, err = Compare(mk(150), baseline, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "alloc_ratio_opcall_legacy_over_warm") {
+		t.Fatalf("err = %v, want alloc-ratio regression", err)
+	}
+}
+
 // TestCompareBothMetrics covers a baseline carrying both speedup pairs,
 // with only one regressing.
 func TestCompareBothMetrics(t *testing.T) {

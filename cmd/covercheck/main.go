@@ -20,14 +20,17 @@ import (
 
 // floors maps import-path suffixes (package directories) to minimum
 // statement coverage, in percent. Measured at the time the gate landed:
-// wire 92.9, rados 79.3, paxos 86.6, mon 70.5, mds 75.4, zlog 81.6.
+// wire 92.9, rados 79.3, paxos 86.6, mon 70.5, mds 75.4, zlog 81.6,
+// script 89.6 (the differential interpreter-vs-VM suite carries most of
+// the script package's coverage).
 var floors = map[string]float64{
-	"repro/internal/wire":  85,
-	"repro/internal/rados": 70,
-	"repro/internal/paxos": 78,
-	"repro/internal/mon":   60,
-	"repro/internal/mds":   65,
-	"repro/internal/zlog":  72,
+	"repro/internal/wire":   85,
+	"repro/internal/rados":  70,
+	"repro/internal/paxos":  78,
+	"repro/internal/mon":    60,
+	"repro/internal/mds":    65,
+	"repro/internal/zlog":   72,
+	"repro/internal/script": 80,
 }
 
 // pkgCov accumulates statement counts for one package.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mon"
 	"repro/internal/rados"
 	"repro/internal/script"
+	"repro/internal/types"
 	"repro/internal/wire"
 )
 
@@ -47,8 +48,24 @@ type Balancer struct {
 	mu      sync.Mutex
 	version string
 	ip      *script.Interp
-	chunk   *script.Block
+	chunk   *script.CompiledChunk
+	// cache holds compiled policies by version so re-activating a
+	// version a rank has already seen (epoch churn, A/B flips) costs
+	// neither a RADOS fetch nor a parse. Bounded FIFO.
+	cache      map[string]*policyEntry
+	cacheOrder []string
 }
+
+// policyEntry is one cached compilation; epoch records the MDS map
+// epoch that first activated it (observability: see Version/Epoch in
+// logs and tests).
+type policyEntry struct {
+	chunk *script.CompiledChunk
+	epoch types.Epoch
+}
+
+// maxCachedPolicies bounds the per-rank compiled-policy cache.
+const maxCachedPolicies = 32
 
 // NewBalancer builds a policy-driven balancer. pool holds policy
 // objects; tick must match the MDS balance interval.
@@ -72,7 +89,7 @@ func (b *Balancer) Decide(ctx context.Context, in mds.BalancerInput) (mds.Decisi
 	if version == "" {
 		return mds.Decision{}, nil // balancing not configured; not an error
 	}
-	if err := b.ensurePolicy(ctx, version); err != nil {
+	if err := b.ensurePolicy(ctx, version, in.MDSMap.Epoch); err != nil {
 		return mds.Decision{}, err
 	}
 
@@ -99,7 +116,7 @@ func (b *Balancer) Decide(ctx context.Context, in mds.BalancerInput) (mds.Decisi
 	b.ip.SetGlobal("targets", script.NewTable())
 	b.ip.SetGlobal("mode", "client")
 
-	if _, err := b.ip.Exec(b.chunk); err != nil {
+	if _, err := b.chunk.Run(b.ip); err != nil {
 		return mds.Decision{}, fmt.Errorf("mantle: policy %s: %w", version, err)
 	}
 
@@ -134,18 +151,27 @@ func (b *Balancer) Decide(ctx context.Context, in mds.BalancerInput) (mds.Decisi
 	return dec, nil
 }
 
-// ensurePolicy loads the policy object when the activated version
-// changes. The read is bounded by half the balancing tick: "if the
+// ensurePolicy makes the compiled policy for version current. A version
+// already in the compiled cache activates instantly — no RADOS fetch,
+// no parse, no compile (the tick-path fast case). Otherwise the body is
+// fetched with a read bounded by half the balancing tick: "if the
 // asynchronous read does not come back within half the balancing tick
 // interval the operation is canceled and a Connection Timeout error is
-// returned" (§5.1.2).
-func (b *Balancer) ensurePolicy(ctx context.Context, version string) error {
+// returned" (§5.1.2), then compiled once and cached.
+func (b *Balancer) ensurePolicy(ctx context.Context, version string, epoch types.Epoch) error {
 	b.mu.Lock()
-	cur := b.version
-	b.mu.Unlock()
-	if cur == version {
+	if b.version == version {
+		b.mu.Unlock()
 		return nil
 	}
+	if ent, ok := b.cache[version]; ok {
+		b.switchTo(version, ent.chunk)
+		b.mu.Unlock()
+		b.log(ctx, "info", fmt.Sprintf("balancer version changed to %q (cached, first seen epoch %d)", version, ent.epoch))
+		return nil
+	}
+	b.mu.Unlock()
+
 	fctx, cancel := context.WithTimeout(ctx, b.tick/2)
 	defer cancel()
 	body, err := b.rc.Read(fctx, b.pool, version)
@@ -156,20 +182,36 @@ func (b *Balancer) ensurePolicy(ctx context.Context, version string) error {
 		b.log(ctx, "error", fmt.Sprintf("failed to load balancer %q: %v", version, err))
 		return err
 	}
-	chunk, err := script.Parse(string(body))
+	chunk, err := script.Compile(string(body))
 	if err != nil {
 		b.log(ctx, "error", fmt.Sprintf("balancer %q does not parse: %v", version, err))
 		return err
 	}
 	b.mu.Lock()
+	if _, ok := b.cache[version]; !ok {
+		if b.cache == nil {
+			b.cache = make(map[string]*policyEntry)
+		}
+		b.cache[version] = &policyEntry{chunk: chunk, epoch: epoch}
+		b.cacheOrder = append(b.cacheOrder, version)
+		if len(b.cacheOrder) > maxCachedPolicies {
+			delete(b.cache, b.cacheOrder[0])
+			b.cacheOrder = b.cacheOrder[1:]
+		}
+	}
+	b.switchTo(version, chunk)
+	b.mu.Unlock()
+	b.log(ctx, "info", fmt.Sprintf("balancer version changed to %q", version))
+	return nil
+}
+
+// switchTo installs a compiled policy as current. Callers hold b.mu.
+func (b *Balancer) switchTo(version string, chunk *script.CompiledChunk) {
 	b.version = version
 	b.chunk = chunk
 	// A fresh interpreter per version: policy globals (save-state)
 	// persist across ticks but not across versions.
 	b.ip = script.New()
-	b.mu.Unlock()
-	b.log(ctx, "info", fmt.Sprintf("balancer version changed to %q", version))
-	return nil
 }
 
 func (b *Balancer) log(ctx context.Context, level, msg string) {
@@ -189,7 +231,7 @@ func (b *Balancer) Version() string {
 // the monitor — the two-step (durable body, versioned pointer) flow of
 // §5.1.1-5.1.2.
 func InstallPolicy(ctx context.Context, rc *rados.Client, monc *mon.Client, pool, version, body string) error {
-	if _, err := script.Parse(body); err != nil {
+	if _, err := script.Compile(body); err != nil {
 		return fmt.Errorf("mantle: policy %q does not parse: %w", version, err)
 	}
 	if err := rc.WriteFull(ctx, pool, version, []byte(body)); err != nil {

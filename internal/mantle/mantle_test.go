@@ -424,3 +424,51 @@ func TestPaperSnippetSemantics(t *testing.T) {
 var _ = fmt.Sprintf
 var _ = errors.Is
 var _ = rados.OK
+
+// TestPolicyCacheHitSkipsFetch proves re-activating an already-seen
+// version is served from the compiled cache: the stored policy object
+// is overwritten with garbage, yet flipping back to v1 still works —
+// no fetch, no re-parse.
+func TestPolicyCacheHitSkipsFetch(t *testing.T) {
+	c := boot(t, core.Options{OSDs: 2})
+	ctx := ctxT(t, 20*time.Second)
+	rc := c.NewRadosClient("client.rc")
+	monc := c.NewMonClient("client.mc")
+	b := newBalancer(c, "client.bal", 200*time.Millisecond)
+
+	if err := mantle.InstallPolicy(ctx, rc, monc, "metadata", "v1", mantle.PolicyHalfToNext); err != nil {
+		t.Fatal(err)
+	}
+	m := fetchMDSMap(t, c)
+	if _, err := b.Decide(ctx, input(0, map[int]float64{0: 100, 1: 0}, m)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move to v2, then corrupt the stored v1 body. A cache miss on the
+	// way back would either fail to parse or run the garbage.
+	if err := mantle.InstallPolicy(ctx, rc, monc, "metadata", "v2", mantle.PolicyAllToNext); err != nil {
+		t.Fatal(err)
+	}
+	m = fetchMDSMap(t, c)
+	if _, err := b.Decide(ctx, input(0, map[int]float64{0: 100, 1: 0}, m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.WriteFull(ctx, "metadata", "v1", []byte("this is not a policy ((")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := monc.SetBalancerVersion(ctx, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	m = fetchMDSMap(t, c)
+	dec, err := b.Decide(ctx, input(0, map[int]float64{0: 100, 1: 0}, m))
+	if err != nil {
+		t.Fatalf("cache hit should not refetch: %v", err)
+	}
+	if b.Version() != "v1" {
+		t.Fatalf("version = %q, want v1", b.Version())
+	}
+	if dec.Targets[1] != 50 {
+		t.Fatalf("targets[1] = %v, want 50 (v1 semantics)", dec.Targets[1])
+	}
+}

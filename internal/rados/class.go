@@ -1,6 +1,7 @@
 package rados
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strconv"
 	"sync"
@@ -107,19 +108,61 @@ type NativeClass struct {
 	Methods  map[string]NativeMethod
 }
 
-// classRuntime resolves and executes class calls for one OSD.
-type classRuntime struct {
-	mu     sync.Mutex
-	native map[string]*NativeClass
-	// parsed caches compiled scripts keyed by class name + version, so
-	// hot methods do not re-parse per call.
-	parsed map[string]*script.Block
+// ClassExecMode selects the script-class execution engine.
+type ClassExecMode int
+
+const (
+	// ClassExecCompiled (the default) compiles each class script to
+	// bytecode once, caches the compiled chunk by content hash, and
+	// serves calls from pooled interpreter activations whose host
+	// binding table is built once and rebound per call.
+	ClassExecCompiled ClassExecMode = iota
+	// ClassExecLegacy tree-walks a cached AST with a fresh interpreter
+	// and a freshly built binding table per call. Kept for the
+	// before/after benchmarks and as a conservative fallback.
+	ClassExecLegacy
+)
+
+// maxCompiledClasses bounds the per-OSD compiled cache; eviction is
+// FIFO, which is plenty for the handful of classes a cluster carries.
+const maxCompiledClasses = 128
+
+// compiledClass is one cached compilation plus a pool of warmed-up
+// execution states for it.
+type compiledClass struct {
+	chunk *script.CompiledChunk
+	pool  sync.Pool // of *classVM
 }
 
-func newClassRuntime() *classRuntime {
+// classVM is a reusable execution state for one compiled class: an
+// interpreter (globals survive between calls — see DESIGN.md on the
+// persistence nuance) and the pre-built cls binding table.
+type classVM struct {
+	ip      *script.Interp
+	binding *clsBinding
+}
+
+// classRuntime resolves and executes class calls for one OSD.
+type classRuntime struct {
+	mode   ClassExecMode
+	mu     sync.Mutex
+	native map[string]*NativeClass
+	// parsed caches tree-walker ASTs keyed by class name + version
+	// (legacy engine only).
+	parsed map[string]*script.Block
+	// compiled caches bytecode keyed by the script's content hash: a
+	// re-register under the same name with different source is a
+	// different key, so stale code can never be served.
+	compiled  map[[32]byte]*compiledClass
+	hashOrder [][32]byte // FIFO eviction order for compiled
+}
+
+func newClassRuntime(mode ClassExecMode) *classRuntime {
 	rt := &classRuntime{
-		native: make(map[string]*NativeClass),
-		parsed: make(map[string]*script.Block),
+		mode:     mode,
+		native:   make(map[string]*NativeClass),
+		parsed:   make(map[string]*script.Block),
+		compiled: make(map[[32]byte]*compiledClass),
 	}
 	for _, c := range BuiltinClasses() {
 		rt.native[c.Name] = c
@@ -154,6 +197,72 @@ func (rt *classRuntime) callNative(cls, method string, ctx *ClassCtx) (out []byt
 
 // callScript executes a script-class method from def against ctx.
 func (rt *classRuntime) callScript(def types.ClassDef, method string, ctx *ClassCtx) ([]byte, ResultCode) {
+	if rt.mode == ClassExecLegacy {
+		return rt.callScriptLegacy(def, method, ctx)
+	}
+	cc, err := rt.compiledFor(def)
+	if err != nil {
+		return []byte(err.Error()), EINVAL
+	}
+	vm, _ := cc.pool.Get().(*classVM)
+	if vm == nil {
+		vm = &classVM{ip: script.New(), binding: newClsBinding()}
+	}
+	// Re-run the chunk's top level: pure bytecode (no parse, no
+	// compile), it just redefines the method functions, matching the
+	// legacy engine's run-then-call shape.
+	if _, rerr := cc.chunk.Run(vm.ip); rerr != nil {
+		cc.pool.Put(vm)
+		return []byte(rerr.Error()), EINVAL
+	}
+	fn := vm.ip.Global(method)
+	if fn == nil {
+		cc.pool.Put(vm)
+		return []byte(fmt.Sprintf("class %s has no method %s", def.Name, method)), EINVAL
+	}
+	vm.binding.bind(ctx)
+	vals, cerr := vm.ip.Call(fn, vm.binding.tbl)
+	vm.binding.bind(nil) // drop the object reference before pooling
+	cc.pool.Put(vm)
+	if cerr != nil {
+		return []byte(cerr.Error()), codeFromError(cerr)
+	}
+	return decodeScriptResult(vals)
+}
+
+// compiledFor returns the cached compilation of def's source, compiling
+// on first sight of this exact content.
+func (rt *classRuntime) compiledFor(def types.ClassDef) (*compiledClass, error) {
+	h := sha256.Sum256([]byte(def.Script))
+	rt.mu.Lock()
+	cc, ok := rt.compiled[h]
+	rt.mu.Unlock()
+	if ok {
+		return cc, nil
+	}
+	chunk, err := script.Compile(def.Script)
+	if err != nil {
+		return nil, err
+	}
+	cc = &compiledClass{chunk: chunk}
+	rt.mu.Lock()
+	if exist, ok := rt.compiled[h]; ok {
+		cc = exist // lost a compile race; keep the winner's pool
+	} else {
+		rt.compiled[h] = cc
+		rt.hashOrder = append(rt.hashOrder, h)
+		if len(rt.hashOrder) > maxCompiledClasses {
+			delete(rt.compiled, rt.hashOrder[0])
+			rt.hashOrder = rt.hashOrder[1:]
+		}
+	}
+	rt.mu.Unlock()
+	return cc, nil
+}
+
+// callScriptLegacy is the pre-bytecode engine: cached AST, fresh
+// interpreter and fresh binding table per call.
+func (rt *classRuntime) callScriptLegacy(def types.ClassDef, method string, ctx *ClassCtx) ([]byte, ResultCode) {
 	key := fmt.Sprintf("%s@%d", def.Name, def.Version)
 	rt.mu.Lock()
 	blk, ok := rt.parsed[key]
@@ -253,26 +362,50 @@ func decodeScriptResult(vals []script.Value) ([]byte, ResultCode) {
 	return payload, rc
 }
 
-// bindClassCtx builds the `cls` table: the object-local host API a
-// script method composes (read/write, omap, xattr — the "native
-// interfaces" of Section 4.2).
-func bindClassCtx(ctx *ClassCtx) *script.Table {
-	t := script.NewTable()
-	set := func(k string, v script.Value) { t.Set(k, v) } //nolint:errcheck
+// clsBinding is the `cls` table — the object-local host API a script
+// method composes (read/write, omap, xattr — the "native interfaces" of
+// Section 4.2) — with its ~15 GoFuncs built once. The functions close
+// over the binding, not a particular call's context, so a pooled
+// binding serves successive calls by swapping the ctx pointer instead
+// of rebuilding the table.
+type clsBinding struct {
+	ctx *ClassCtx
+	tbl *script.Table
+}
 
-	set("input", string(ctx.Input))
+// bind points the table's functions at ctx and refreshes the `input`
+// field; bind(nil) releases the object reference between calls.
+func (b *clsBinding) bind(ctx *ClassCtx) {
+	b.ctx = ctx
+	if ctx != nil {
+		b.tbl.Set("input", string(ctx.Input)) //nolint:errcheck
+	} else {
+		b.tbl.Set("input", nil) //nolint:errcheck
+	}
+}
+
+// bindClassCtx builds a single-use binding for the legacy engine.
+func bindClassCtx(ctx *ClassCtx) *script.Table {
+	b := newClsBinding()
+	b.bind(ctx)
+	return b.tbl
+}
+
+func newClsBinding() *clsBinding {
+	b := &clsBinding{tbl: script.NewTable()}
+	set := func(k string, v script.Value) { b.tbl.Set(k, v) } //nolint:errcheck
 
 	set("read", script.GoFunc(func(_ *script.Interp, _ []script.Value) ([]script.Value, error) {
-		return []script.Value{string(ctx.Obj.Data)}, nil
+		return []script.Value{string(b.ctx.Obj.Data)}, nil
 	}))
 	set("write", script.GoFunc(func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
 		s, ok := argStr(args, 0)
 		if !ok {
 			return nil, fmt.Errorf("EINVAL: cls.write expects a string")
 		}
-		ctx.saveData()
-		ctx.mutated = true
-		ctx.Obj.Data = []byte(s)
+		b.ctx.saveData()
+		b.ctx.mutated = true
+		b.ctx.Obj.Data = []byte(s)
 		return nil, nil
 	}))
 	set("append", script.GoFunc(func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
@@ -280,13 +413,13 @@ func bindClassCtx(ctx *ClassCtx) *script.Table {
 		if !ok {
 			return nil, fmt.Errorf("EINVAL: cls.append expects a string")
 		}
-		ctx.saveData()
-		ctx.mutated = true
-		ctx.Obj.Data = append(append([]byte(nil), ctx.Obj.Data...), s...)
+		b.ctx.saveData()
+		b.ctx.mutated = true
+		b.ctx.Obj.Data = append(append([]byte(nil), b.ctx.Obj.Data...), s...)
 		return nil, nil
 	}))
 	set("size", script.GoFunc(func(_ *script.Interp, _ []script.Value) ([]script.Value, error) {
-		return []script.Value{float64(len(ctx.Obj.Data))}, nil
+		return []script.Value{float64(len(b.ctx.Obj.Data))}, nil
 	}))
 
 	set("omap_get", script.GoFunc(func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
@@ -294,7 +427,7 @@ func bindClassCtx(ctx *ClassCtx) *script.Table {
 		if !ok {
 			return nil, fmt.Errorf("EINVAL: cls.omap_get expects a key")
 		}
-		v, ok := ctx.Obj.Omap[k]
+		v, ok := b.ctx.Obj.Omap[k]
 		if !ok {
 			return []script.Value{nil}, nil
 		}
@@ -306,9 +439,9 @@ func bindClassCtx(ctx *ClassCtx) *script.Table {
 		if !kok || !vok {
 			return nil, fmt.Errorf("EINVAL: cls.omap_set expects key, value")
 		}
-		ctx.saveOmap(k)
-		ctx.mutated = true
-		ctx.Obj.Omap[k] = []byte(v)
+		b.ctx.saveOmap(k)
+		b.ctx.mutated = true
+		b.ctx.Obj.Omap[k] = []byte(v)
 		return nil, nil
 	}))
 	set("omap_del", script.GoFunc(func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
@@ -316,14 +449,14 @@ func bindClassCtx(ctx *ClassCtx) *script.Table {
 		if !ok {
 			return nil, fmt.Errorf("EINVAL: cls.omap_del expects a key")
 		}
-		ctx.saveOmap(k)
-		ctx.mutated = true
-		delete(ctx.Obj.Omap, k)
+		b.ctx.saveOmap(k)
+		b.ctx.mutated = true
+		delete(b.ctx.Obj.Omap, k)
 		return nil, nil
 	}))
 	set("omap_keys", script.GoFunc(func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
 		prefix, _ := argStr(args, 0)
-		keys := ctx.Obj.OmapKeysSorted(prefix)
+		keys := b.ctx.Obj.OmapKeysSorted(prefix)
 		tbl := script.NewTable()
 		for i, k := range keys {
 			tbl.Set(float64(i+1), k) //nolint:errcheck
@@ -336,7 +469,7 @@ func bindClassCtx(ctx *ClassCtx) *script.Table {
 		if !ok {
 			return nil, fmt.Errorf("EINVAL: cls.getxattr expects a key")
 		}
-		v, ok := ctx.Obj.Xattrs[k]
+		v, ok := b.ctx.Obj.Xattrs[k]
 		if !ok {
 			return []script.Value{nil}, nil
 		}
@@ -348,15 +481,15 @@ func bindClassCtx(ctx *ClassCtx) *script.Table {
 		if !kok || !vok {
 			return nil, fmt.Errorf("EINVAL: cls.setxattr expects key, value")
 		}
-		ctx.saveXattr(k)
-		ctx.mutated = true
-		ctx.Obj.Xattrs[k] = []byte(v)
+		b.ctx.saveXattr(k)
+		b.ctx.mutated = true
+		b.ctx.Obj.Xattrs[k] = []byte(v)
 		return nil, nil
 	}))
 	set("version", script.GoFunc(func(_ *script.Interp, _ []script.Value) ([]script.Value, error) {
-		return []script.Value{float64(ctx.Obj.Version)}, nil
+		return []script.Value{float64(b.ctx.Obj.Version)}, nil
 	}))
-	return t
+	return b
 }
 
 func argStr(args []script.Value, i int) (string, bool) {

@@ -51,6 +51,10 @@ type OSDConfig struct {
 	// same object; on expiry it applies anyway and scrub repairs any
 	// residual divergence. Zero means the default.
 	ReplicaWaitTimeout time.Duration
+	// ClassExec selects the script-class engine; the zero value is the
+	// compiled (bytecode, cached, pooled) engine. ClassExecLegacy
+	// tree-walks with per-call setup, kept for benchmark comparison.
+	ClassExec ClassExecMode
 }
 
 func (c *OSDConfig) defaults() {
@@ -115,7 +119,7 @@ func NewOSD(net *wire.Network, cfg OSDConfig) *OSD {
 		cfg:       cfg,
 		net:       net,
 		monc:      mon.NewClient(net, OSDAddr(cfg.ID), cfg.Mons),
-		rt:        newClassRuntime(),
+		rt:        newClassRuntime(cfg.ClassExec),
 		rng:       rand.New(rand.NewSource(int64(cfg.ID)*7919 + 17)),
 		watchers:  newWatcherTable(),
 		osdMap:    types.NewOSDMap(),

@@ -3,7 +3,6 @@ package script
 import (
 	"fmt"
 	"io"
-	"math"
 	"strings"
 )
 
@@ -39,6 +38,8 @@ type Interp struct {
 	runBudget int64 // budget installed at the start of each Run/Call
 	maxDepth  int
 	depth     int
+
+	vmFree *vmState // freelist of pooled VM activations
 }
 
 // Option configures an Interp.
@@ -356,7 +357,7 @@ func (ip *Interp) execGenFor(st *GenForStmt, env *Env) (*control, error) {
 			}
 		}
 		return nil, nil
-	case *Closure, GoFunc:
+	case *Closure, *CompiledClosure, GoFunc:
 		for {
 			vals, err := ip.call(it, nil, st.Line)
 			if err != nil {
@@ -488,17 +489,11 @@ func (ip *Interp) eval(e Expr, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch obj := obj.(type) {
-		case *Table:
-			return obj.Get(key), nil
-		case string:
-			// Allow s:len()-style lookups through the string library.
-			if strlib, ok := ip.globals.Get("string").(*Table); ok {
-				return strlib.Get(key), nil
-			}
-			return nil, nil
+		v, err := ip.indexValue(obj, key)
+		if err != nil {
+			return nil, ip.errf(e, "%v", err)
 		}
-		return nil, ip.errf(e, "cannot index a %s value", TypeName(obj))
+		return v, nil
 	case *CallExpr:
 		vals, err := ip.evalCall(e, env)
 		if err != nil {
@@ -594,6 +589,8 @@ func (ip *Interp) call(fn Value, args []Value, line int) ([]Value, error) {
 	switch fn := fn.(type) {
 	case GoFunc:
 		return fn(ip, args)
+	case *CompiledClosure:
+		return ip.callCompiled(fn, args)
 	case *Closure:
 		scope := NewEnv(fn.env)
 		for i, name := range fn.fn.Params {
@@ -627,25 +624,11 @@ func (ip *Interp) evalUnary(e *UnExpr, env *Env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch e.Op {
-	case Minus:
-		f, ok := ToNumber(v)
-		if !ok {
-			return nil, ip.errf(e, "attempt to negate a %s value", TypeName(v))
-		}
-		return -f, nil
-	case KwNot:
-		return !Truthy(v), nil
-	case Hash:
-		switch v := v.(type) {
-		case string:
-			return float64(len(v)), nil
-		case *Table:
-			return float64(v.Len()), nil
-		}
-		return nil, ip.errf(e, "attempt to get length of a %s value", TypeName(v))
+	res, err := unOp(e.Op, v)
+	if err != nil {
+		return nil, ip.errf(e, "%v", err)
 	}
-	return nil, ip.errf(e, "unhandled unary operator %s", e.Op)
+	return res, nil
 }
 
 func (ip *Interp) evalBinary(e *BinExpr, env *Env) (Value, error) {
@@ -673,65 +656,11 @@ func (ip *Interp) evalBinary(e *BinExpr, env *Env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	switch e.Op {
-	case Eq:
-		return valueEq(l, r), nil
-	case NotEq:
-		return !valueEq(l, r), nil
-	case Concat:
-		ls, lok := concatible(l)
-		rs, rok := concatible(r)
-		if !lok || !rok {
-			return nil, ip.errf(e, "attempt to concatenate a %s value", TypeName(pick(lok, r, l)))
-		}
-		return ls + rs, nil
+	res, err := binOp(e.Op, l, r)
+	if err != nil {
+		return nil, ip.errf(e, "%v", err)
 	}
-
-	// Comparison on strings.
-	if ls, ok := l.(string); ok {
-		if rs, ok := r.(string); ok {
-			switch e.Op {
-			case Less:
-				return ls < rs, nil
-			case LessEq:
-				return ls <= rs, nil
-			case Greater:
-				return ls > rs, nil
-			case GreaterEq:
-				return ls >= rs, nil
-			}
-		}
-	}
-
-	lf, lok := ToNumber(l)
-	rf, rok := ToNumber(r)
-	if !lok || !rok {
-		return nil, ip.errf(e, "attempt to perform arithmetic on a %s value", TypeName(pick(lok, r, l)))
-	}
-	switch e.Op {
-	case Plus:
-		return lf + rf, nil
-	case Minus:
-		return lf - rf, nil
-	case Star:
-		return lf * rf, nil
-	case Slash:
-		return lf / rf, nil
-	case Percent:
-		return lf - math.Floor(lf/rf)*rf, nil
-	case Caret:
-		return math.Pow(lf, rf), nil
-	case Less:
-		return lf < rf, nil
-	case LessEq:
-		return lf <= rf, nil
-	case Greater:
-		return lf > rf, nil
-	case GreaterEq:
-		return lf >= rf, nil
-	}
-	return nil, ip.errf(e, "unhandled binary operator %s", e.Op)
+	return res, nil
 }
 
 func pick(useFirst bool, a, b Value) Value {
@@ -770,6 +699,9 @@ func valueEq(a, b Value) bool {
 		return ok && av == bv
 	case *Closure:
 		bv, ok := b.(*Closure)
+		return ok && av == bv
+	case *CompiledClosure:
+		bv, ok := b.(*CompiledClosure)
 		return ok && av == bv
 	}
 	return false

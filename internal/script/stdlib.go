@@ -73,50 +73,57 @@ func (ip *Interp) installStdlib() {
 		return append([]Value{true}, rs...), nil
 	}))
 
-	g.Define("pairs", GoFunc(func(_ *Interp, args []Value) ([]Value, error) {
-		t, ok := argTable(args, 0)
-		if !ok {
-			return nil, fmt.Errorf("pairs: table expected")
-		}
-		type kv struct{ k, v Value }
-		var items []kv
-		t.Pairs(func(k, v Value) bool {
-			items = append(items, kv{k, v})
-			return true
-		})
-		i := 0
-		iter := GoFunc(func(_ *Interp, _ []Value) ([]Value, error) {
-			if i >= len(items) {
-				return []Value{nil}, nil
-			}
-			item := items[i]
-			i++
-			return []Value{item.k, item.v}, nil
-		})
-		return []Value{iter}, nil
-	}))
-
-	g.Define("ipairs", GoFunc(func(_ *Interp, args []Value) ([]Value, error) {
-		t, ok := argTable(args, 0)
-		if !ok {
-			return nil, fmt.Errorf("ipairs: table expected")
-		}
-		i := 0
-		iter := GoFunc(func(_ *Interp, _ []Value) ([]Value, error) {
-			i++
-			v := t.Get(float64(i))
-			if v == nil {
-				return []Value{nil}, nil
-			}
-			return []Value{float64(i), v}, nil
-		})
-		return []Value{iter}, nil
-	}))
+	g.Define("pairs", stdPairs)
+	g.Define("ipairs", stdIpairs)
 
 	ip.installMath()
 	ip.installString()
 	ip.installTable()
 }
+
+// stdPairs and stdIpairs live at package level so the VM's guarded
+// iteration fast path can verify (by function identity) that the
+// globals still point at the builtins before bypassing the
+// iterator-function protocol.
+var stdPairs = GoFunc(func(_ *Interp, args []Value) ([]Value, error) {
+	t, ok := argTable(args, 0)
+	if !ok {
+		return nil, fmt.Errorf("pairs: table expected")
+	}
+	type kv struct{ k, v Value }
+	var items []kv
+	t.Pairs(func(k, v Value) bool {
+		items = append(items, kv{k, v})
+		return true
+	})
+	i := 0
+	iter := GoFunc(func(_ *Interp, _ []Value) ([]Value, error) {
+		if i >= len(items) {
+			return []Value{nil}, nil
+		}
+		item := items[i]
+		i++
+		return []Value{item.k, item.v}, nil
+	})
+	return []Value{iter}, nil
+})
+
+var stdIpairs = GoFunc(func(_ *Interp, args []Value) ([]Value, error) {
+	t, ok := argTable(args, 0)
+	if !ok {
+		return nil, fmt.Errorf("ipairs: table expected")
+	}
+	i := 0
+	iter := GoFunc(func(_ *Interp, _ []Value) ([]Value, error) {
+		i++
+		v := t.Get(float64(i))
+		if v == nil {
+			return []Value{nil}, nil
+		}
+		return []Value{float64(i), v}, nil
+	})
+	return []Value{iter}, nil
+})
 
 func (ip *Interp) installMath() {
 	m := NewTable()

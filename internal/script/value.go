@@ -60,7 +60,7 @@ func normKey(k Value) (Value, error) {
 		return k, nil
 	case bool, string:
 		return k, nil
-	case *Table, *Closure:
+	case *Table, *Closure, *CompiledClosure:
 		return k, nil
 	case GoFunc:
 		return nil, fmt.Errorf("host function cannot be a table key")
@@ -166,7 +166,7 @@ func (t *Table) Pairs(fn func(k, v Value) bool) {
 		if v == nil {
 			continue
 		}
-		if !fn(float64(i+1), v) {
+		if !fn(numValue(float64(i+1)), v) {
 			return
 		}
 	}
@@ -264,7 +264,7 @@ func TypeName(v Value) string {
 		return "string"
 	case *Table:
 		return "table"
-	case *Closure, GoFunc:
+	case *Closure, *CompiledClosure, GoFunc:
 		return "function"
 	}
 	return fmt.Sprintf("<%T>", v)
@@ -287,6 +287,8 @@ func ToString(v Value) string {
 	case *Table:
 		return fmt.Sprintf("table: %p", v)
 	case *Closure:
+		return fmt.Sprintf("function: %p", v)
+	case *CompiledClosure:
 		return fmt.Sprintf("function: %p", v)
 	case GoFunc:
 		return "function: builtin"
