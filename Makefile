@@ -58,16 +58,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # One iteration of every benchmark so they cannot rot; part of ci.
-# internal/script rides along for the VM microbenches.
+# internal/script rides along for the VM microbenches, internal/cdc for
+# the chunker throughput bench.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/script/
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/script/ ./internal/cdc/
 
 # Record the serial-vs-batched append comparison (PR 2's acceptance
 # numbers) in BENCH_pr2.json, the serial-vs-pipelined replicated
 # write comparison plus the ZLog end-to-end number (PR 3's) in
 # BENCH_pr3.json, and the interpreter-vs-VM policy script plus the
 # legacy-vs-warm OpCall comparison (PR 7's, with -benchmem so the
-# allocation criterion is recorded) in BENCH_pr7.json.
+# allocation criterion is recorded) in BENCH_pr7.json, and the
+# flat-vs-deduped write pair plus the chunker throughput (PR 8's) in
+# BENCH_pr8.json — floors pin the acceptance criteria (50%-dup corpus
+# ships <= 0.6x the flat bytes; chunker >= 500 MB/s single-core).
 bench-json:
 	$(GO) test -run=^$$ -bench='^BenchmarkZLogAppend(Serial|Batch)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pr2.json
@@ -78,6 +82,11 @@ bench-json:
 	$(GO) test -run=^$$ -bench='^Benchmark(Script(Interp|VM)|OpCall(Legacy|Warm))$$' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pr7.json
 	@cat BENCH_pr7.json
+	{ $(GO) test -run=^$$ -bench='^Benchmark(WriteFlat|WriteDeduped)$$' -benchtime 2x . ; \
+	  $(GO) test -run=^$$ -bench='^BenchmarkChunker$$' -benchtime=1s ./internal/cdc/ ; } \
+		| $(GO) run ./cmd/benchjson -out BENCH_pr8.json \
+			-floor dedup_ratio_50=1.667 -floor chunker_mbps=500
+	@cat BENCH_pr8.json
 
 # Cluster-wide fault injection: boots a full cluster per scenario,
 # injects the seeded fault script under client load, and audits the
@@ -97,7 +106,7 @@ cover:
 	$(GO) test -count=1 -coverprofile=coverage.out \
 		./internal/wire/ ./internal/rados/ ./internal/paxos/ \
 		./internal/mon/ ./internal/mds/ ./internal/zlog/ \
-		./internal/script/
+		./internal/script/ ./internal/cdc/
 	$(GO) run ./cmd/covercheck -profile coverage.out
 
 # Bench-regression gate: rerun the PR 2 and PR 3 benchmark pairs and
@@ -111,5 +120,9 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson -compare BENCH_pr3.json -tolerance 0.30
 	$(GO) test -run=^$$ -bench='^Benchmark(Script(Interp|VM)|OpCall(Legacy|Warm))$$' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pr7.json -tolerance 0.30
+	{ $(GO) test -run=^$$ -bench='^Benchmark(WriteFlat|WriteDeduped)$$' -benchtime 2x . ; \
+	  $(GO) test -run=^$$ -bench='^BenchmarkChunker$$' -benchtime=1s ./internal/cdc/ ; } \
+		| $(GO) run ./cmd/benchjson -compare BENCH_pr8.json -tolerance 0.30 \
+			-floor dedup_ratio_50=1.667 -floor chunker_mbps=500
 
 ci: build vet lint-sarif lint-fixtures race bench-smoke chaos cover bench-compare

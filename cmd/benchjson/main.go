@@ -4,11 +4,13 @@
 // bench-json` pipes the serial-vs-batched append benchmarks through it.
 //
 // With -compare old.json it instead acts as a regression gate: the
-// fresh run's speedup_* metrics must not fall below the committed
+// fresh run's derived metrics must not fall below the committed
 // baseline's by more than -tolerance (a fraction; 0.30 means a 30%
-// drop fails). Only the derived speedup ratios are compared — raw
-// ns/op moves with machine load, but the serial-vs-optimized ratio on
-// the same host is stable.
+// drop fails). Only the derived ratios are compared — raw ns/op moves
+// with machine load, but the serial-vs-optimized ratio on the same
+// host is stable. Repeatable -floor name=value flags additionally pin
+// absolute minimums (acceptance criteria like dedup_ratio_50 >= 1.667
+// or chunker_mbps >= 500) in either mode.
 package main
 
 import (
@@ -19,24 +21,28 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // Result is one parsed benchmark line. BytesPerOp/AllocsPerOp are
 // filled when the run used -benchmem (and are omitted otherwise, so
-// older baselines unmarshal unchanged).
+// older baselines unmarshal unchanged). Metrics carries every other
+// value/unit pair on the line — b.SetBytes throughput ("MB/s") and
+// b.ReportMetric custom units ("wire_B/op", "stored_B/op").
 type Result struct {
-	Name        string  `json:"name"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	OpsPerSec   float64            `json:"ops_per_sec"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Summary is the emitted document. Each speedup field is filled when
-// both of its benchmarks are present: SpeedupBatchOverSerial pairs
+// Summary is the emitted document. Each derived field is filled when
+// its benchmarks are present: SpeedupBatchOverSerial pairs
 // ZLogAppendSerial/ZLogAppendBatch (PR-2 criterion, >= 5x at batch 64);
 // SpeedupPipelinedOverSerial pairs RadosWriteSerial/RadosWritePipelined
 // (PR-3 criterion, >= 2x at replicas=3, same fabric latency).
@@ -44,7 +50,11 @@ type Result struct {
 // >= 3x on the fig-8 policy script); AllocRatioOpCallLegacyOverWarm
 // pairs OpCallLegacy/OpCallWarm allocs/op (PR-7 criterion: the warm
 // compiled-cache path must allocate strictly less than the
-// parse-per-call path, i.e. ratio > 1).
+// parse-per-call path, i.e. ratio > 1). DedupRatioNN divides
+// WriteFlat's wire bytes by WriteDeduped/dupNN's (PR-8 criterion:
+// dedup_ratio_50 >= 1.667, i.e. the 50%-dup corpus ships <= 0.6x the
+// flat bytes); ChunkerMBps is the cdc chunker's single-core throughput
+// (PR-8 criterion: >= 500).
 type Summary struct {
 	Benchmarks                     []Result `json:"benchmarks"`
 	SpeedupBatchOverSerial         float64  `json:"speedup_batch_over_serial,omitempty"`
@@ -52,11 +62,19 @@ type Summary struct {
 	SpeedupVMOverInterp            float64  `json:"speedup_vm_over_interp,omitempty"`
 	SpeedupOpCallWarmOverLegacy    float64  `json:"speedup_opcall_warm_over_legacy,omitempty"`
 	AllocRatioOpCallLegacyOverWarm float64  `json:"alloc_ratio_opcall_legacy_over_warm,omitempty"`
+	DedupRatio25                   float64  `json:"dedup_ratio_25,omitempty"`
+	DedupRatio50                   float64  `json:"dedup_ratio_50,omitempty"`
+	DedupRatio75                   float64  `json:"dedup_ratio_75,omitempty"`
+	ChunkerMBps                    float64  `json:"chunker_mbps,omitempty"`
 }
 
-// benchLine matches e.g. "BenchmarkZLogAppendBatch-8   12315   96857 ns/op"
-// with optional -benchmem columns "2696 B/op   100 allocs/op".
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// benchHead matches the name and iteration count; the measurement
+// columns after them are free-form value/unit pairs.
+var benchHead = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// metricPair matches one "value unit" column, e.g. "96857 ns/op",
+// "975.33 MB/s", "4194304 wire_B/op".
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?)\s+(\S+)`)
 
 // Parse extracts benchmark results from `go test -bench` output.
 func Parse(r io.Reader) ([]Result, error) {
@@ -64,7 +82,7 @@ func Parse(r io.Reader) ([]Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		m := benchHead.FindStringSubmatch(strings.TrimSpace(sc.Text()))
 		if m == nil {
 			continue
 		}
@@ -72,17 +90,33 @@ func Parse(r io.Reader) ([]Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchjson: bad iteration count %q: %w", m[2], err)
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchjson: bad ns/op %q: %w", m[3], err)
+		res := Result{Name: m[1], Iters: iters}
+		sawNs := false
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value %q: %w", pair[1], err)
+			}
+			switch pair[2] {
+			case "ns/op":
+				res.NsPerOp = v
+				sawNs = true
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[pair[2]] = v
+			}
 		}
-		res := Result{Name: m[1], Iters: iters, NsPerOp: ns}
-		if ns > 0 {
-			res.OpsPerSec = 1e9 / ns
+		if !sawNs {
+			continue // not a measurement line after all
 		}
-		if m[4] != "" {
-			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if res.NsPerOp > 0 {
+			res.OpsPerSec = 1e9 / res.NsPerOp
 		}
 		out = append(out, res)
 	}
@@ -92,11 +126,24 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
+// dedupWire returns the bytes the deduped path moved per op: the larger
+// of its wire and stored metrics (identical on the current path; max
+// keeps the ratio conservative if they ever diverge).
+func dedupWire(r Result) float64 {
+	w, s := r.Metrics["wire_B/op"], r.Metrics["stored_B/op"]
+	if s > w {
+		return s
+	}
+	return w
+}
+
 // Summarize derives the cross-benchmark metrics from parsed results.
 func Summarize(results []Result) Summary {
 	s := Summary{Benchmarks: results}
 	var serial, batch, wserial, wpipe, interp, vm, oclegacy, ocwarm float64
 	var oclegacyAllocs, ocwarmAllocs int64
+	var flatWire float64
+	dup := make(map[string]float64)
 	for _, r := range results {
 		switch r.Name {
 		case "ZLogAppendSerial":
@@ -117,6 +164,12 @@ func Summarize(results []Result) Summary {
 		case "OpCallWarm":
 			ocwarm = r.NsPerOp
 			ocwarmAllocs = r.AllocsPerOp
+		case "WriteFlat":
+			flatWire = dedupWire(r)
+		case "WriteDeduped/dup25", "WriteDeduped/dup50", "WriteDeduped/dup75":
+			dup[strings.TrimPrefix(r.Name, "WriteDeduped/dup")] = dedupWire(r)
+		case "Chunker":
+			s.ChunkerMBps = r.Metrics["MB/s"]
 		}
 	}
 	if serial > 0 && batch > 0 {
@@ -134,30 +187,21 @@ func Summarize(results []Result) Summary {
 	if oclegacyAllocs > 0 && ocwarmAllocs > 0 {
 		s.AllocRatioOpCallLegacyOverWarm = float64(oclegacyAllocs) / float64(ocwarmAllocs)
 	}
+	if flatWire > 0 {
+		if d := dup["25"]; d > 0 {
+			s.DedupRatio25 = flatWire / d
+		}
+		if d := dup["50"]; d > 0 {
+			s.DedupRatio50 = flatWire / d
+		}
+		if d := dup["75"]; d > 0 {
+			s.DedupRatio75 = flatWire / d
+		}
+	}
 	return s
 }
 
-func run(in io.Reader, outPath string) error {
-	results, err := Parse(in)
-	if err != nil {
-		return err
-	}
-	if len(results) == 0 {
-		return fmt.Errorf("benchjson: no benchmark lines on stdin")
-	}
-	buf, err := json.MarshalIndent(Summarize(results), "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if outPath == "" || outPath == "-" {
-		_, err = os.Stdout.Write(buf)
-		return err
-	}
-	return os.WriteFile(outPath, buf, 0o644)
-}
-
-// metric is one named speedup ratio extracted from a Summary.
+// metric is one named derived ratio extracted from a Summary.
 type metric struct {
 	name string
 	val  float64
@@ -181,10 +225,97 @@ func speedups(s Summary) []metric {
 	if s.AllocRatioOpCallLegacyOverWarm > 0 {
 		out = append(out, metric{"alloc_ratio_opcall_legacy_over_warm", s.AllocRatioOpCallLegacyOverWarm})
 	}
+	if s.DedupRatio25 > 0 {
+		out = append(out, metric{"dedup_ratio_25", s.DedupRatio25})
+	}
+	if s.DedupRatio50 > 0 {
+		out = append(out, metric{"dedup_ratio_50", s.DedupRatio50})
+	}
+	if s.DedupRatio75 > 0 {
+		out = append(out, metric{"dedup_ratio_75", s.DedupRatio75})
+	}
+	// ChunkerMBps is deliberately absent: it is absolute single-core
+	// throughput, which swings with host load, so the relative-drop
+	// compare would flap. Its gate is the absolute -floor (>= 500).
 	return out
 }
 
-// Compare checks the fresh summary's speedup metrics against a
+// derivedMetrics is speedups plus the floor-only metrics — the lookup
+// table CheckFloors gates against.
+func derivedMetrics(s Summary) []metric {
+	out := speedups(s)
+	if s.ChunkerMBps > 0 {
+		out = append(out, metric{"chunker_mbps", s.ChunkerMBps})
+	}
+	return out
+}
+
+// CheckFloors gates the summary's derived metrics against absolute
+// minimums (-floor name=value). Unlike Compare's relative tolerance,
+// these are the acceptance criteria themselves: a floor on a metric the
+// run did not produce fails too.
+func CheckFloors(s Summary, floors map[string]float64) ([]string, error) {
+	got := make(map[string]float64)
+	for _, m := range derivedMetrics(s) {
+		got[m.name] = m.val
+	}
+	names := make([]string, 0, len(floors))
+	for name := range floors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var lines []string
+	var failure error
+	for _, name := range names {
+		want := floors[name]
+		cur, ok := got[name]
+		switch {
+		case !ok:
+			lines = append(lines, fmt.Sprintf("FAIL floor %s: metric missing from run (floor %.3f)", name, want))
+			if failure == nil {
+				failure = fmt.Errorf("benchjson: floor %s: metric missing from run", name)
+			}
+		case cur < want:
+			lines = append(lines, fmt.Sprintf("FAIL floor %s: %.3f < %.3f", name, cur, want))
+			if failure == nil {
+				failure = fmt.Errorf("benchjson: %s = %.3f below floor %.3f", name, cur, want)
+			}
+		default:
+			lines = append(lines, fmt.Sprintf("ok   floor %s: %.3f >= %.3f", name, cur, want))
+		}
+	}
+	return lines, failure
+}
+
+func run(in io.Reader, outPath string, floors map[string]float64) error {
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	summary := Summarize(results)
+	buf, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" || outPath == "-" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	lines, failure := CheckFloors(summary, floors)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	return failure
+}
+
+// Compare checks the fresh summary's derived metrics against a
 // committed baseline: each metric present in the baseline must also be
 // present fresh and satisfy fresh >= old*(1-tolerance). It returns one
 // report line per compared metric and an error naming the first
@@ -228,8 +359,8 @@ func Compare(fresh, baseline Summary, tolerance float64) ([]string, error) {
 }
 
 // runCompare parses fresh bench output from in and gates it against the
-// baseline JSON at oldPath.
-func runCompare(in io.Reader, oldPath string, tolerance float64, report io.Writer) error {
+// baseline JSON at oldPath, then against any absolute floors.
+func runCompare(in io.Reader, oldPath string, tolerance float64, floors map[string]float64, report io.Writer) error {
 	raw, err := os.ReadFile(oldPath)
 	if err != nil {
 		return fmt.Errorf("benchjson: read baseline: %w", err)
@@ -245,26 +376,59 @@ func runCompare(in io.Reader, oldPath string, tolerance float64, report io.Write
 	if len(results) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines on stdin")
 	}
-	lines, failure := Compare(Summarize(results), baseline, tolerance)
+	fresh := Summarize(results)
+	lines, failure := Compare(fresh, baseline, tolerance)
+	flines, ffail := CheckFloors(fresh, floors)
+	lines = append(lines, flines...)
+	if failure == nil {
+		failure = ffail
+	}
 	for _, l := range lines {
 		fmt.Fprintln(report, l)
 	}
 	return failure
 }
 
+// floorFlags collects repeatable -floor name=value arguments.
+type floorFlags map[string]float64
+
+func (f floorFlags) String() string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floorFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad floor value %q: %w", val, err)
+	}
+	f[name] = v
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "-", "output file (- for stdout)")
 	compare := flag.String("compare", "", "baseline JSON; gate fresh bench output against it instead of emitting JSON")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional drop in speedup metrics vs the baseline")
+	floors := floorFlags{}
+	flag.Var(floors, "floor", "absolute metric floor name=value (repeatable)")
 	flag.Parse()
 	if *compare != "" {
-		if err := runCompare(os.Stdin, *compare, *tolerance, os.Stdout); err != nil {
+		if err := runCompare(os.Stdin, *compare, *tolerance, floors, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(os.Stdin, *out); err != nil {
+	if err := run(os.Stdin, *out, floors); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -223,6 +223,102 @@ func TestCompareGatesAllocRatio(t *testing.T) {
 	}
 }
 
+const dedupSample = `goos: linux
+pkg: repro
+BenchmarkWriteFlat    	       2	   2881637 ns/op	1455.53 MB/s	   4194304 stored_B/op	   4194304 wire_B/op
+BenchmarkWriteDeduped/dup25-8 	       2	  27162761 ns/op	 154.41 MB/s	   3336559 stored_B/op	   3336559 wire_B/op
+BenchmarkWriteDeduped/dup50   	       2	  15831496 ns/op	 264.93 MB/s	   2316343 stored_B/op	   2316343 wire_B/op
+BenchmarkWriteDeduped/dup75   	       2	  14873267 ns/op	 282.00 MB/s	   1304363 stored_B/op	   1304363 wire_B/op
+PASS
+ok  	repro	10.1s
+goos: linux
+pkg: repro/internal/cdc
+BenchmarkChunker-8  	     500	   2149284 ns/op	 975.75 MB/s
+PASS
+ok  	repro/internal/cdc	1.2s
+`
+
+// TestParseCustomMetrics pins the generalized value/unit-pair parsing:
+// b.ReportMetric units and MB/s throughput land in Result.Metrics, and
+// the PR-8 derived metrics (dedup ratios, chunker throughput) follow.
+func TestParseCustomMetrics(t *testing.T) {
+	results, err := Parse(strings.NewReader(dedupSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
+	}
+	if results[0].Name != "WriteFlat" || results[0].Metrics["wire_B/op"] != 4194304 {
+		t.Fatalf("flat result = %+v", results[0])
+	}
+	if results[1].Name != "WriteDeduped/dup25" {
+		t.Fatalf("sub-benchmark name = %q (CPU suffix must be stripped)", results[1].Name)
+	}
+	s := Summarize(results)
+	if want := 4194304.0 / 2316343.0; math.Abs(s.DedupRatio50-want) > 1e-9 {
+		t.Fatalf("dedup_ratio_50 = %f, want %f", s.DedupRatio50, want)
+	}
+	if want := 4194304.0 / 1304363.0; math.Abs(s.DedupRatio75-want) > 1e-9 {
+		t.Fatalf("dedup_ratio_75 = %f, want %f", s.DedupRatio75, want)
+	}
+	if s.ChunkerMBps != 975.75 {
+		t.Fatalf("chunker_mbps = %f, want 975.75", s.ChunkerMBps)
+	}
+}
+
+// TestCheckFloors pins the acceptance-floor gate: passing floors
+// report ok, a metric below its floor fails, and a floor on a metric
+// the run never produced fails rather than passing vacuously.
+func TestCheckFloors(t *testing.T) {
+	results, err := Parse(strings.NewReader(dedupSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(results)
+	lines, err := CheckFloors(s, map[string]float64{"dedup_ratio_50": 1.667, "chunker_mbps": 500})
+	if err != nil {
+		t.Fatalf("floors that hold failed: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(lines) != 2 {
+		t.Fatalf("report lines = %q", lines)
+	}
+	_, err = CheckFloors(s, map[string]float64{"dedup_ratio_50": 2.5})
+	if err == nil || !strings.Contains(err.Error(), "dedup_ratio_50") {
+		t.Fatalf("err = %v, want dedup_ratio_50 floor failure", err)
+	}
+	_, err = CheckFloors(s, map[string]float64{"no_such_metric": 1})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, want missing-metric floor failure", err)
+	}
+	if lines, err := CheckFloors(s, nil); err != nil || len(lines) != 0 {
+		t.Fatalf("empty floors = (%q, %v), want clean no-op", lines, err)
+	}
+}
+
+// TestFloorFlagParsing covers the repeatable -floor name=value flag.
+func TestFloorFlagParsing(t *testing.T) {
+	f := floorFlags{}
+	if err := f.Set("dedup_ratio_50=1.667"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("chunker_mbps=500"); err != nil {
+		t.Fatal(err)
+	}
+	if f["dedup_ratio_50"] != 1.667 || f["chunker_mbps"] != 500 {
+		t.Fatalf("floors = %v", f)
+	}
+	if err := f.Set("bogus"); err == nil {
+		t.Fatal("name without value accepted")
+	}
+	if err := f.Set("x=notanumber"); err == nil {
+		t.Fatal("non-numeric floor accepted")
+	}
+	if got := f.String(); !strings.Contains(got, "chunker_mbps=500") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
 // TestCompareBothMetrics covers a baseline carrying both speedup pairs,
 // with only one regressing.
 func TestCompareBothMetrics(t *testing.T) {

@@ -331,14 +331,53 @@ func TestCrossPackageFacts(t *testing.T) {
 	if _, ok := wrappers["(*repro/internal/rados.Client).do"]; !ok {
 		t.Error("rados.(*Client).do not recognized as a retry wrapper (Backoff + wire Call)")
 	}
+	// The dedup GC sweeper resends block ops with the same discipline;
+	// it must be recognized too, or its OpBlockReclaim call sites
+	// escape the retry-safety gate entirely.
+	if _, ok := wrappers["(*repro/internal/rados.OSD).sendBlockOp"]; !ok {
+		t.Error("rados.(*OSD).sendBlockOp not recognized as a retry wrapper (Backoff + wire Call)")
+	}
 
 	facts := classifyOps(idx)
 	if f := facts["repro/internal/rados.OpAppend"]; f.class != classRMW {
 		t.Errorf("OpAppend pre-upgrade class = %v, want %v", f.class, classRMW)
 	}
+	// The dedup block ops are resent by both retry wrappers (the client
+	// stamps OpBlockWrite, the GC sweeper stamps incref/decref/reclaim),
+	// so each must classify retry-safe on its own shape where possible:
+	// OpBlockWrite's duplicate branch makes it an absolute overwrite,
+	// incref/decref lead with existence guards and mutate through
+	// helpers (versioned), and reclaim reads the slot it tombstones
+	// (RMW), relying on the gateway upgrade below.
+	preClasses := map[string]opClass{
+		"OpBlockWrite":   classOverwrite,
+		"OpBlockIncref":  classVersioned,
+		"OpBlockDecref":  classVersioned,
+		"OpBlockReclaim": classRMW,
+	}
+	for op, want := range preClasses {
+		f, ok := facts["repro/internal/rados."+op]
+		if !ok {
+			t.Errorf("%s not classified (missing from the applyOp dispatch?)", op)
+			continue
+		}
+		if f.class != want {
+			t.Errorf("%s pre-upgrade class = %v, want %v", op, f.class, want)
+		}
+	}
 	upgradeReplayGuarded(idx, facts)
 	if f := facts["repro/internal/rados.OpAppend"]; f.class != classVersioned {
 		t.Errorf("OpAppend post-upgrade class = %v, want %v (handleOp's OpID replay gateway must cover applyOp)", f.class, classVersioned)
+	}
+	for _, op := range []string{"OpBlockWrite", "OpBlockDecref", "OpBlockIncref", "OpBlockReclaim", "OpBlockStat"} {
+		f, ok := facts["repro/internal/rados."+op]
+		if !ok {
+			t.Errorf("%s not classified (missing from the applyOp dispatch?)", op)
+			continue
+		}
+		if !f.class.retrySafe() {
+			t.Errorf("%s post-upgrade class = %v; a resend through do()/sendBlockOp would double-apply", op, f.class)
+		}
 	}
 }
 

@@ -154,8 +154,8 @@ func TestUnknownScenario(t *testing.T) {
 // TestScenarioMetadata keeps the registry self-describing.
 func TestScenarioMetadata(t *testing.T) {
 	names := Scenarios()
-	if len(names) < 5 {
-		t.Fatalf("only %d scenarios registered, acceptance floor is 5", len(names))
+	if len(names) < 6 {
+		t.Fatalf("only %d scenarios registered, acceptance floor is 6", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {

@@ -45,12 +45,29 @@ var scenarioList = []scenario{
 		about: "sweep message-loss and latency spikes across the fabric under mixed load",
 		fn:    runDropLatencySpike,
 	},
+	{
+		name:  "dedup-churn",
+		about: "overwrite deduped objects through an OSD restart, require zero leaked or dangling block refs after GC",
+		fn:    runDedupChurn,
+	},
 }
 
 // fastOSD is the OSD tuning every scenario uses: quick gossip so map
 // convergence after heal is bounded by protocol, not by timers.
 func fastOSD() rados.OSDConfig {
 	return rados.OSDConfig{GossipInterval: 20 * time.Millisecond}
+}
+
+// dedupOSD adds an aggressive GC cadence on top of fastOSD. The grace
+// window stays well above the restart's down-window so a reclaim can
+// never outrun an incref parked on the stopped daemon — the same
+// relationship a production deployment must maintain between grace and
+// its failover detection time.
+func dedupOSD() rados.OSDConfig {
+	c := fastOSD()
+	c.GCInterval = 20 * time.Millisecond
+	c.GCGrace = 2 * time.Second
+	return c
 }
 
 // runOSDCrashRestart pins satellite 5 (Stop → Start as a supported
@@ -315,6 +332,65 @@ func (r *run) brokenRecover(ctx context.Context, l *zlog.Log, monc *mon.Client, 
 		}
 	}
 	return l.MDS().SetValue(ctx, zlog.SeqPath(chaosLogName), uint64(maxPos+1))
+}
+
+// runDedupChurn drives the content-addressed write path under churn:
+// two writers overwrite deduped objects (sliding windows over
+// duplicate-heavy corpora, so every overwrite increfs some blocks and
+// decrefs others) while one OSD restarts gracefully — its parked
+// ref-delta queue must survive the restart and drain on rejoin.
+// Afterwards every acked manifest must reassemble byte-for-byte, and
+// once the deferred GC quiesces a cluster-wide audit must find zero
+// leaked and zero dangling block references.
+func runDedupChurn(ctx context.Context, r *run) error {
+	if err := r.boot(core.Options{
+		Mons: 1, OSDs: 4, MDSs: 0,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 3,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              dedupOSD(),
+	}); err != nil {
+		return err
+	}
+	victim := r.rng.Intn(len(r.cl.OSDs))
+	seed1, seed2 := r.rng.Int63(), r.rng.Int63()
+	w := r.watchMaps()
+	monc := r.cl.NewMonClient("client.chaos.admin")
+	writers := []*dedupWriter{
+		newDedupWriter("d1", r.cl.NewRadosClient("client.chaos.d1"), "data", 3, seed1),
+		newDedupWriter("d2", r.cl.NewRadosClient("client.chaos.d2"), "data", 3, seed2),
+	}
+	crew := newCrew()
+	for _, wr := range writers {
+		wr := wr
+		crew.go_(func(stop <-chan struct{}) { wr.run(ctx, stop) })
+	}
+	pause(ctx, 250*time.Millisecond)
+
+	r.event("crash", fmt.Sprintf("osd.%d stops gracefully (ref-delta queue parked)", victim))
+	r.cl.OSDs[victim].Stop()
+	if err := monc.MarkOSDDown(ctx, victim); err != nil {
+		return fmt.Errorf("mark osd.%d down: %w", victim, err)
+	}
+	pause(ctx, 400*time.Millisecond) // degraded deduped writes remap and continue
+
+	r.event("restart", fmt.Sprintf("osd.%d rejoins with its queue intact", victim))
+	if err := r.cl.OSDs[victim].Start(ctx); err != nil {
+		return fmt.Errorf("restart osd.%d: %w", victim, err)
+	}
+	pause(ctx, 300*time.Millisecond)
+	crew.halt()
+	w.finish()
+
+	monc2 := r.cl.NewMonClient("client.chaos.check")
+	if r.checkEpochsConverge(ctx, monc2) {
+		r.checkReplicasConverge(ctx)
+	}
+	r.checkDedupDurable(ctx, writers...)
+	r.checkDedupGC(ctx, "data")
+	// Reclaims travel the ordinary replicated op path, so a final scrub
+	// pass must still find nothing to repair.
+	r.checkReplicasConverge(ctx)
+	return nil
 }
 
 // runDropLatencySpike sweeps rounds of global loss, per-link loss, and

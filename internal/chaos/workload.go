@@ -7,9 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cdc"
 	"repro/internal/mon"
 	"repro/internal/rados"
 	"repro/internal/types"
+	"repro/internal/workload"
 	"repro/internal/zlog"
 )
 
@@ -73,6 +75,76 @@ func (w *radosWriter) run(ctx context.Context, stop <-chan struct{}) {
 			w.oks++
 		} else {
 			w.pending[obj] = append(w.pending[obj], payload)
+			w.errs++
+		}
+		w.mu.Unlock()
+		pause(ctx, 2*time.Millisecond)
+	}
+}
+
+// dedupWriter overwrites a fixed object set through the
+// content-addressed dedup path. Each write is a sliding window over a
+// duplicate-heavy corpus, so consecutive overwrites share most of their
+// blocks (exercising the stat-then-skip fast path) while still swapping
+// some in and out — every overwrite queues incref/decref churn for the
+// deferred GC.
+type dedupWriter struct {
+	name    string
+	rc      *rados.Client
+	pool    string
+	objects []string
+	corpus  []byte
+	cfg     *cdc.Config
+
+	mu      sync.Mutex
+	acked   map[string]string   // guarded by mu; object -> last acked payload
+	pending map[string][]string // guarded by mu; attempts since last ack, fate unknown
+	oks     int                 // guarded by mu
+	errs    int                 // guarded by mu
+}
+
+func newDedupWriter(name string, rc *rados.Client, pool string, objects int, corpusSeed int64) *dedupWriter {
+	w := &dedupWriter{
+		name: name,
+		rc:   rc,
+		pool: pool,
+		corpus: workload.GenerateDupCorpus(corpusSeed, workload.DupCorpusConfig{
+			Size: 1 << 20, DupRatio: 0.5, SegmentSize: 64 << 10,
+		}),
+		// Small chunks so every ~48 KiB payload spans several blocks.
+		cfg:     &cdc.Config{MinSize: 1 << 10, AvgSize: 4 << 10, MaxSize: 16 << 10, NormLevel: 2},
+		acked:   make(map[string]string),
+		pending: make(map[string][]string),
+	}
+	for i := 0; i < objects; i++ {
+		w.objects = append(w.objects, fmt.Sprintf("%s-doc%d", name, i))
+	}
+	return w
+}
+
+func (w *dedupWriter) run(ctx context.Context, stop <-chan struct{}) {
+	const window = 48 << 10
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		obj := w.objects[i%len(w.objects)]
+		off := (i * 7919) % (len(w.corpus) - window)
+		payload := w.corpus[off : off+window]
+		cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		_, err := w.rc.WriteDeduped(cctx, w.pool, obj, payload, w.cfg)
+		cancel()
+		w.mu.Lock()
+		if err == nil {
+			w.acked[obj] = string(payload)
+			w.pending[obj] = nil
+			w.oks++
+		} else {
+			w.pending[obj] = append(w.pending[obj], string(payload))
 			w.errs++
 		}
 		w.mu.Unlock()

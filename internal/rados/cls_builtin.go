@@ -24,6 +24,7 @@ func BuiltinClasses() []*NativeClass {
 		clsRefcount(),
 		clsGC(),
 		clsNumOps(),
+		clsDedup(),
 	}
 }
 
@@ -338,6 +339,43 @@ func clsNumOps() *NativeClass {
 					v = binary.BigEndian.Uint64(ctx.Obj.Data)
 				}
 				return []byte(strconv.FormatUint(v, 10)), OK
+			},
+		},
+	}
+}
+
+// clsDedup is an other-category class: introspection over the
+// content-addressed dedup path (dedup.go), running next to the data
+// like every other interface. "info" decodes a manifest object into a
+// JSON summary; "refs" reports a block object's reference count.
+func clsDedup() *NativeClass {
+	return &NativeClass{
+		Name:     "dedup",
+		Category: "other",
+		Methods: map[string]NativeMethod{
+			"info": func(ctx *ClassCtx) ([]byte, ResultCode) {
+				m, isManifest, err := DecodeManifest(ctx.Obj.Data)
+				if !isManifest {
+					return []byte("object is not a dedup manifest"), EINVAL
+				}
+				if err != nil {
+					return []byte("corrupt manifest: " + err.Error()), EIO
+				}
+				out, jerr := json.Marshal(map[string]any{
+					"total_len":     m.TotalLen,
+					"chunks":        len(m.Chunks),
+					"unique_blocks": len(m.blockNames()),
+				})
+				if jerr != nil {
+					return []byte("encode failed: " + jerr.Error()), EIO
+				}
+				return out, OK
+			},
+			"refs": func(ctx *ClassCtx) ([]byte, ResultCode) {
+				if !IsBlockName(ctx.Obj.Name) {
+					return []byte("object is not a dedup block"), EINVAL
+				}
+				return []byte(strconv.FormatInt(blockRefs(ctx.Obj), 10)), OK
 			},
 		},
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Object is the RADOS storage unit: a bytestream, a sorted key-value
@@ -110,6 +111,14 @@ type objEntry struct {
 	// appliers holding an out-of-order forward wait on it for the
 	// preceding mutation to land.
 	applied chan struct{} // guarded by mu
+	// touch is the last time this slot was mutated or, for dedup
+	// blocks, stat-probed by a client assembling a manifest. It is the
+	// GC grace clock: a zero-reference block is reclaimable only once
+	// touch is older than the grace window, which closes the race
+	// where a client is told a block exists and then writes a manifest
+	// referencing it. Primary-local and deliberately outside the scrub
+	// digest — replicas need not agree on it.
+	touch time.Time // guarded by mu
 }
 
 // signalLocked wakes version-order waiters. Caller holds e.mu.
@@ -119,12 +128,14 @@ func (e *objEntry) signalLocked() {
 }
 
 // bumpLocked advances the version after a local mutation, keeps the
-// stored object's stamp in sync, and wakes waiters. Caller holds e.mu.
+// stored object's stamp in sync, refreshes the GC touch clock, and
+// wakes waiters. Caller holds e.mu.
 func (e *objEntry) bumpLocked() {
 	e.ver++
 	if e.obj != nil {
 		e.obj.Version = e.ver
 	}
+	e.touch = time.Now()
 	e.signalLocked()
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mon"
@@ -55,6 +56,16 @@ type OSDConfig struct {
 	// compiled (bytecode, cached, pooled) engine. ClassExecLegacy
 	// tree-walks with per-call setup, kept for benchmark comparison.
 	ClassExec ClassExecMode
+	// GCInterval is how often the dedup GC sweeper delivers queued
+	// block ref deltas and reclaims unreferenced blocks (osd_gc.go);
+	// zero disables the background loop (SweepBlocks still works).
+	GCInterval time.Duration
+	// GCGrace is how long a block must sit untouched with zero
+	// references before reclaim. It must exceed the window between a
+	// client's OpBlockStat and its manifest write, or an in-flight
+	// WriteDeduped can lose a block it was told exists. Zero means the
+	// default.
+	GCGrace time.Duration
 }
 
 func (c *OSDConfig) defaults() {
@@ -66,6 +77,9 @@ func (c *OSDConfig) defaults() {
 	}
 	if c.ReplicaWaitTimeout <= 0 {
 		c.ReplicaWaitTimeout = 250 * time.Millisecond
+	}
+	if c.GCGrace <= 0 {
+		c.GCGrace = 2 * time.Second
 	}
 }
 
@@ -102,6 +116,17 @@ type OSD struct {
 	replay    map[replayKey]OpReply // guarded by replayMu
 	replayLog []replayKey           // guarded by replayMu; FIFO eviction order
 
+	// Dedup GC state (osd_gc.go): ref deltas enqueued by manifest
+	// applies and drained by the sweeper. The queue lives on the OSD
+	// struct — not the goroutine — so it survives a Stop/Start restart
+	// cycle along with the PGs, keeping refcounts exact across the
+	// graceful crash chaos injects. gcSeq stamps each delta's OpID once
+	// at enqueue, drawing from the same incarnation allocator as
+	// clients so OSD-originated ops never collide in replay caches.
+	gcMu  sync.Mutex
+	refQ  []refDelta // guarded by gcMu
+	gcSeq atomic.Uint64
+
 	// Lifecycle: Stop -> Start is a supported restart cycle (the crashed
 	// daemon rejoining the cluster); stopCh is replaced on each Start so
 	// background loops always select on the channel of their own
@@ -115,7 +140,7 @@ type OSD struct {
 // NewOSD constructs an OSD bound to the fabric.
 func NewOSD(net *wire.Network, cfg OSDConfig) *OSD {
 	cfg.defaults()
-	return &OSD{
+	o := &OSD{
 		cfg:       cfg,
 		net:       net,
 		monc:      mon.NewClient(net, OSDAddr(cfg.ID), cfg.Mons),
@@ -128,6 +153,8 @@ func NewOSD(net *wire.Network, cfg OSDConfig) *OSD {
 		classLive: make(map[string]uint64),
 		stopCh:    make(chan struct{}),
 	}
+	o.gcSeq.Store(clientIncarnation.Add(1) << 40)
+	return o
 }
 
 // Addr returns this OSD's wire address.
@@ -204,6 +231,10 @@ func (o *OSD) Start(ctx context.Context) error {
 	if o.cfg.ScrubInterval > 0 {
 		o.wg.Add(1)
 		go o.scrubLoop(stop)
+	}
+	if o.cfg.GCInterval > 0 {
+		o.wg.Add(1)
+		go o.gcLoop(stop)
 	}
 	return nil
 }
@@ -387,7 +418,9 @@ func (o *OSD) backfillPG(id PGID, m *types.OSDMap) {
 // repair, where the primary's copy is authoritative.
 func (o *OSD) applyBackfill(b backfillMsg) {
 	p := o.getPG(PGID{Pool: b.Pool, PG: b.PG})
+	pushed := make(map[string]bool, len(b.Objects))
 	for _, obj := range b.Objects {
+		pushed[obj.Name] = true
 		e := p.entry(obj.Name)
 		e.mu.Lock()
 		if b.Force || e.ver < obj.Version {
@@ -395,6 +428,29 @@ func (o *OSD) applyBackfill(b backfillMsg) {
 			e.ver = obj.Version
 			e.obj.Version = e.ver
 			e.signalLocked()
+		}
+		e.mu.Unlock()
+	}
+	if !b.Force {
+		return
+	}
+	// Force makes the sender authoritative for the whole PG, deletions
+	// included. Tombstones are invisible to digests and snapshots, so the
+	// push above cannot carry one; a live object here that the sender has
+	// deleted (or never saw) would re-diverge scrub on every pass.
+	p.mu.Lock()
+	var extra []*objEntry
+	for name, e := range p.objects {
+		if !pushed[name] {
+			extra = append(extra, e)
+		}
+	}
+	p.mu.Unlock()
+	for _, e := range extra {
+		e.mu.Lock()
+		if e.obj != nil {
+			e.obj = nil
+			e.bumpLocked()
 		}
 		e.mu.Unlock()
 	}

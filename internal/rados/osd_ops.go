@@ -64,6 +64,14 @@ func (o *OSD) handleOp(ctx context.Context, from wire.Addr, req OpRequest) OpRep
 		}
 	}
 
+	// Batched block presence probe: req.Keys spans many objects (and so
+	// many PGs of this primary), so it cannot ride the per-object path.
+	// The single-name form (no Keys) falls through to applyOp like any
+	// read.
+	if req.Op == OpBlockStat && len(req.Keys) > 0 {
+		return o.blockStatBatch(req, m)
+	}
+
 	p := o.getPG(PGID{Pool: req.Pool, PG: pgnum})
 	if req.Replica {
 		return o.applyReplicaOp(ctx, p, req, m)
@@ -89,6 +97,35 @@ func (o *OSD) handleOp(ctx context.Context, from wire.Addr, req OpRequest) OpRep
 		o.replicate(ctx, req, acting[1:], m.Epoch, prev, reply.Version)
 	}
 	return reply
+}
+
+// blockStatBatch answers which of req.Keys exist on this daemon,
+// touching each found block's reclaim clock so the caller's grace
+// window opens from "you told me it exists", not from the block's last
+// write. Names whose primary is not this daemon (the client grouped
+// with a stale map) are simply not reported; the client rewrites them,
+// and OpBlockWrite on an existing block is an ack.
+func (o *OSD) blockStatBatch(req OpRequest, m *types.OSDMap) OpReply {
+	pi, ok := m.Pools[req.Pool]
+	if !ok {
+		return OpReply{Result: ENOENT, Detail: "no such pool", Epoch: m.Epoch}
+	}
+	var present []string
+	for _, name := range req.Keys {
+		pgnum := PGForObject(name, pi.PGNum)
+		acting := OSDsForPG(m, req.Pool, pgnum, pi.Replicas)
+		if len(acting) == 0 || acting[0] != o.cfg.ID {
+			continue
+		}
+		e := o.getPG(PGID{Pool: req.Pool, PG: pgnum}).entry(name)
+		e.mu.Lock()
+		if e.obj != nil {
+			e.touch = time.Now()
+			present = append(present, name)
+		}
+		e.mu.Unlock()
+	}
+	return OpReply{Result: OK, Keys: present, Epoch: m.Epoch}
 }
 
 // replicate forwards a committed mutation to every replica concurrently
@@ -194,14 +231,22 @@ func (o *OSD) applyReplicaOp(ctx context.Context, p *pg, req OpRequest, m *types
 		return reply
 	}
 	reply, mutated := o.applyOp(e, req, m)
-	if mutated && req.NewVersion > 0 {
+	if req.NewVersion > e.ver {
 		// Pin to the primary's stamp so a forced out-of-order apply
-		// re-converges the version sequence.
+		// re-converges the version sequence. Pin even when the local
+		// apply was a no-op (a remove of an object this replica never
+		// held, a ref delta its refset already supersedes): the primary
+		// mutated, and leaving the local version behind would stall
+		// every later forward at the PrevVersion wait until scrub
+		// repairs the gap.
 		e.ver = req.NewVersion
 		if e.obj != nil {
 			e.obj.Version = e.ver
 		}
 		reply.Version = e.ver
+		if !mutated {
+			e.signalLocked()
+		}
 	}
 	e.mu.Unlock()
 	reply.Epoch = m.Epoch
@@ -254,12 +299,25 @@ func (o *OSD) applyOp(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, boo
 		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpWriteFull:
+		// Manifest transition: the primary owns reference bookkeeping, so
+		// overwriting (or installing, or clobbering) a manifest enqueues
+		// the ref deltas of the old-vs-new block-set diff for the GC
+		// sweeper, anchored to the version this apply stamps. Replicas
+		// apply the bytes only; their primary already queued the deltas.
+		oldSet := manifestBlockSet(objData(e))
 		obj := e.materializeLocked(req.Object)
 		obj.Data = append([]byte(nil), req.Data...)
 		e.bumpLocked()
+		if !req.Replica {
+			o.queueRefDeltas(req.Pool, req.Object, e.ver, oldSet, manifestBlockSet(req.Data))
+		}
 		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpAppend:
+		// Appending to a manifest object destroys the manifest (the
+		// strict decoder rejects trailing bytes), so its references are
+		// released here — otherwise the old block set would leak.
+		oldSet := manifestBlockSet(objData(e))
 		obj := e.materializeLocked(req.Object)
 		// Fresh allocation, not append-in-place: readers may hold the old
 		// slice (copy-on-write).
@@ -267,14 +325,21 @@ func (o *OSD) applyOp(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, boo
 		grown = append(append(grown, obj.Data...), req.Data...)
 		obj.Data = grown
 		e.bumpLocked()
+		if !req.Replica {
+			o.queueRefDeltas(req.Pool, req.Object, e.ver, oldSet, nil)
+		}
 		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpRemove:
 		if e.obj == nil {
 			return OpReply{Result: ENOENT}, false
 		}
+		oldSet := manifestBlockSet(objData(e))
 		e.obj = nil
 		e.bumpLocked()
+		if !req.Replica {
+			o.queueRefDeltas(req.Pool, req.Object, e.ver, oldSet, nil)
+		}
 		return OpReply{Result: OK, Version: e.ver}, true
 
 	case OpOmapGet:
@@ -331,8 +396,83 @@ func (o *OSD) applyOp(e *objEntry, req OpRequest, m *types.OSDMap) (OpReply, boo
 
 	case OpCall:
 		return o.applyCall(e, req, m)
+
+	case OpBlockStat:
+		// Single-name form (the batched probe short-circuits in
+		// handleOp): existence plus a touch of the reclaim clock.
+		if e.obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		e.touch = time.Now()
+		return OpReply{Result: OK, Size: int64(len(e.obj.Data)), Version: e.ver}, false
+
+	case OpBlockWrite:
+		if e.obj != nil {
+			// Content-addressed: a block with this name already holds
+			// exactly these bytes. Ack and refresh the grace clock —
+			// never rewrite, so concurrent duplicate writers are free.
+			e.touch = time.Now()
+			return OpReply{Result: OK, Version: e.ver}, false
+		}
+		if !req.Replica && BlockName(req.Data) != req.Object {
+			return OpReply{Result: EINVAL, Detail: "block content does not match its name"}, false
+		}
+		obj := e.materializeLocked(req.Object)
+		obj.Data = append([]byte(nil), req.Data...)
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
+
+	case OpBlockIncref:
+		if e.obj == nil {
+			return OpReply{Result: ENOENT, Detail: "no such block"}, false
+		}
+		// req.Key names the referencing manifest, req.Count carries the
+		// manifest version that created this delta. The version-anchored
+		// set ignores duplicates (resends, double-enqueued diffs after a
+		// primary change) and late deltas a newer transition superseded —
+		// an ack without mutation, never a double count.
+		if !blockRefApply(e.obj, req.Key, uint64(req.Count), true) {
+			return OpReply{Result: OK, Version: e.ver}, false
+		}
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
+
+	case OpBlockDecref:
+		if e.obj == nil {
+			return OpReply{Result: ENOENT, Detail: "no such block"}, false
+		}
+		if !blockRefApply(e.obj, req.Key, uint64(req.Count), false) {
+			return OpReply{Result: OK, Version: e.ver}, false
+		}
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
+
+	case OpBlockReclaim:
+		if e.obj == nil {
+			return OpReply{Result: ENOENT}, false
+		}
+		// The sweeper's scan decision is re-made here under the slot
+		// lock: a stat, write, or incref that slipped in since the scan
+		// cancels the reclaim. Replica forwards apply unconditionally —
+		// the primary already decided, and a replica's own touch clock
+		// is not authoritative.
+		if !req.Replica && (blockRefs(e.obj) > 0 || time.Since(e.touch) < time.Duration(req.Count)) {
+			return OpReply{Result: ECANCELED, Detail: "block referenced or inside the reclaim grace window"}, false
+		}
+		e.obj = nil
+		e.bumpLocked()
+		return OpReply{Result: OK, Version: e.ver}, true
 	}
 	return OpReply{Result: EINVAL, Detail: "unknown op"}, false
+}
+
+// objData returns the slot's current bytestream (nil for a tombstone).
+// Caller holds e.mu.
+func objData(e *objEntry) []byte {
+	if e.obj == nil {
+		return nil
+	}
+	return e.obj.Data
 }
 
 // applyCall executes a class method transactionally. Native methods run

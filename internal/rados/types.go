@@ -35,12 +35,21 @@ const (
 	OpGetXattr
 	OpSetXattr
 	OpCall // invoke an object-class method
+
+	// Dedup block operations (content-addressed immutable blocks named
+	// by their SHA-256; see dedup.go).
+	OpBlockStat    // which of req.Keys exist here (batched presence probe; read-touches the reclaim clock)
+	OpBlockWrite   // create-if-absent write of one block; a duplicate is an ack + touch, never a rewrite
+	OpBlockIncref  // add req.Count manifest references to a block
+	OpBlockDecref  // drop req.Count manifest references from a block
+	OpBlockReclaim // remove the block iff unreferenced and outside the grace window (req.Count ns)
 )
 
 func (o OpCode) String() string {
 	names := [...]string{"read", "write-full", "append", "stat", "remove",
 		"create", "omap-get", "omap-set", "omap-del", "omap-list",
-		"getxattr", "setxattr", "call"}
+		"getxattr", "setxattr", "call",
+		"block-stat", "block-write", "block-incref", "block-decref", "block-reclaim"}
 	if int(o) < len(names) {
 		return names[o]
 	}
@@ -135,6 +144,13 @@ type OpRequest struct {
 	Class  string            // OpCall: class name
 	Method string            // OpCall: method name
 	Input  []byte            // OpCall: method input
+	// Count is the op-specific scalar of the dedup block ops: the
+	// reference delta for OpBlockIncref/OpBlockDecref (a manifest's
+	// unique block set counts once however many extents reuse the
+	// block), and the reclaim grace window in nanoseconds for
+	// OpBlockReclaim (re-checked under the block's slot lock so a
+	// concurrent stat or incref wins the race against the sweeper).
+	Count int64
 
 	// Replica marks a primary-to-replica forward; replicas apply without
 	// re-forwarding.

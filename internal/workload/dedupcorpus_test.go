@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestDupCorpusDeterministic(t *testing.T) {
+	cfg := DupCorpusConfig{Size: 8 << 20, DupRatio: 0.5, SegmentSize: 1 << 20}
+	a := GenerateDupCorpus(42, cfg)
+	b := GenerateDupCorpus(42, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	if len(a) != cfg.Size {
+		t.Fatalf("corpus size = %d, want %d", len(a), cfg.Size)
+	}
+	c := GenerateDupCorpus(43, cfg)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestDupCorpusMeasuredRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 MiB corpora per ratio")
+	}
+	// 1 MiB segments over a 64 MiB corpus: the quota pacing lands the
+	// emitted duplicate fraction on the request exactly for these
+	// ratios, and boundary-chunk resynchronization (~2 average chunks
+	// per repeated segment) costs well under the 2% tolerance.
+	for _, want := range []float64{0.25, 0.50, 0.75} {
+		corpus := GenerateDupCorpus(7, DupCorpusConfig{
+			Size:        64 << 20,
+			DupRatio:    want,
+			SegmentSize: 1 << 20,
+		})
+		got, err := MeasureDupRatio(corpus, nil)
+		if err != nil {
+			t.Fatalf("MeasureDupRatio(ratio=%v): %v", want, err)
+		}
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("requested dup ratio %.2f, measured %.4f (|err| > 0.02)", want, got)
+		}
+	}
+}
+
+func TestDupCorpusAllUnique(t *testing.T) {
+	corpus := GenerateDupCorpus(1, DupCorpusConfig{Size: 4 << 20, DupRatio: 0, SegmentSize: 1 << 20})
+	got, err := MeasureDupRatio(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.001 {
+		t.Fatalf("all-unique corpus measured dup ratio %.4f", got)
+	}
+}
