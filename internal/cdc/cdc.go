@@ -34,13 +34,17 @@ const (
 )
 
 // Config parameterizes a chunker. The zero value selects the defaults
-// above; explicit values are validated by Normalize.
+// above, and each unset field defaults independently (a config with
+// only AvgSize set derives MinSize and MaxSize from it); explicit
+// values are validated by Normalize.
 type Config struct {
-	MinSize int // no cut point before this many bytes
+	MinSize int // no cut point before this many bytes; 0 = AvgSize/4
 	AvgSize int // target mean chunk size; must be a power of two
-	MaxSize int // forced cut at this many bytes
-	// NormLevel is the normalized-chunking level (0 disables
-	// normalization and degenerates to single-mask gear CDC).
+	MaxSize int // forced cut at this many bytes; 0 = 8*AvgSize
+	// NormLevel is the normalized-chunking level. 0 selects
+	// DefaultNormLevel; any negative value disables normalization
+	// (degenerating to single-mask gear CDC), so level 0 stays
+	// expressible alongside zero-value defaulting.
 	NormLevel int
 
 	maskHard uint64 // derived by Normalize
@@ -48,17 +52,24 @@ type Config struct {
 }
 
 // Normalize fills defaults, validates the configuration, and derives
-// the two cut-point masks. It must be called (directly or via Split /
-// NewChunker) before Cut.
+// the two cut-point masks. Unset size fields default relative to
+// AvgSize so a partially specified config stays coherent. It is
+// idempotent (NormLevel is read, never rewritten) and must be called
+// (directly or via Split) before Cut.
 func (c *Config) Normalize() error {
-	if c.MinSize == 0 && c.AvgSize == 0 && c.MaxSize == 0 {
-		c.MinSize, c.AvgSize, c.MaxSize = DefaultMinSize, DefaultAvgSize, DefaultMaxSize
-		if c.NormLevel == 0 {
-			c.NormLevel = DefaultNormLevel
-		}
+	if c.AvgSize == 0 {
+		c.AvgSize = DefaultAvgSize
 	}
 	if c.AvgSize <= 0 || c.AvgSize&(c.AvgSize-1) != 0 {
 		return fmt.Errorf("cdc: AvgSize %d must be a positive power of two", c.AvgSize)
+	}
+	if c.MinSize == 0 {
+		if c.MinSize = c.AvgSize / 4; c.MinSize == 0 {
+			c.MinSize = 1
+		}
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 8 * c.AvgSize
 	}
 	if c.MinSize <= 0 || c.MinSize >= c.AvgSize {
 		return fmt.Errorf("cdc: MinSize %d must be in (0, AvgSize %d)", c.MinSize, c.AvgSize)
@@ -70,11 +81,18 @@ func (c *Config) Normalize() error {
 	for s := c.AvgSize; s > 1; s >>= 1 {
 		bits++
 	}
-	if c.NormLevel < 0 || c.NormLevel >= bits {
-		return fmt.Errorf("cdc: NormLevel %d must be in [0, log2(AvgSize)=%d)", c.NormLevel, bits)
+	level := c.NormLevel
+	switch {
+	case level == 0:
+		level = DefaultNormLevel
+	case level < 0:
+		level = 0
 	}
-	c.maskHard = (1 << (bits + c.NormLevel)) - 1
-	c.maskEasy = (1 << (bits - c.NormLevel)) - 1
+	if level >= bits {
+		return fmt.Errorf("cdc: NormLevel %d must be below log2(AvgSize)=%d", level, bits)
+	}
+	c.maskHard = (1 << (bits + level)) - 1
+	c.maskEasy = (1 << (bits - level)) - 1
 	return nil
 }
 

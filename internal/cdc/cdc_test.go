@@ -66,20 +66,70 @@ func TestNormalizeDefaults(t *testing.T) {
 	if err := c.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	if c.MinSize != DefaultMinSize || c.AvgSize != DefaultAvgSize || c.MaxSize != DefaultMaxSize || c.NormLevel != DefaultNormLevel {
+	if c.MinSize != DefaultMinSize || c.AvgSize != DefaultAvgSize || c.MaxSize != DefaultMaxSize {
 		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.NormLevel != 0 {
+		t.Fatalf("Normalize rewrote NormLevel to %d; it must stay caller-owned", c.NormLevel)
 	}
 	if c.maskHard == 0 || c.maskEasy == 0 || c.maskHard <= c.maskEasy {
 		t.Fatalf("masks wrong: hard=%x easy=%x", c.maskHard, c.maskEasy)
 	}
 }
 
+// TestNormalizePartialDefaults pins the independent-defaulting rule:
+// any unset field is derived from the rest rather than erroring.
+func TestNormalizePartialDefaults(t *testing.T) {
+	c := Config{AvgSize: 1024}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MinSize != 256 || c.MaxSize != 8192 {
+		t.Fatalf("relative defaults wrong: %+v", c)
+	}
+	c2 := Config{MinSize: 100}
+	if err := c2.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.AvgSize != DefaultAvgSize || c2.MaxSize != DefaultMaxSize {
+		t.Fatalf("size defaults wrong: %+v", c2)
+	}
+}
+
+// TestNormalizeNormLevelSentinel: 0 means the default level, a negative
+// value disables normalization (both masks collapse to the single-mask
+// gear CDC mask), and Normalize is idempotent in both cases.
+func TestNormalizeNormLevelSentinel(t *testing.T) {
+	lvl := func(c Config) (uint64, uint64) {
+		t.Helper()
+		if err := c.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		first := c
+		if err := c.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if c != first {
+			t.Fatalf("Normalize not idempotent: %+v then %+v", first, c)
+		}
+		return c.maskHard, c.maskEasy
+	}
+	defHard, defEasy := lvl(Config{})
+	expHard, expEasy := lvl(Config{NormLevel: DefaultNormLevel})
+	if defHard != expHard || defEasy != expEasy {
+		t.Fatalf("NormLevel 0 != explicit default level: %x/%x vs %x/%x", defHard, defEasy, expHard, expEasy)
+	}
+	offHard, offEasy := lvl(Config{NormLevel: -1})
+	if offHard != offEasy {
+		t.Fatalf("disabled normalization must use one mask, got %x/%x", offHard, offEasy)
+	}
+}
+
 func TestNormalizeRejectsBadConfigs(t *testing.T) {
 	bad := []Config{
-		{MinSize: 1, AvgSize: 100, MaxSize: 400},         // avg not power of two
-		{MinSize: 0, AvgSize: 128, MaxSize: 400},         // min zero with others set
-		{MinSize: 256, AvgSize: 128, MaxSize: 400},       // min >= avg
-		{MinSize: 1, AvgSize: 128, MaxSize: 128},         // max <= avg
+		{MinSize: 1, AvgSize: 100, MaxSize: 400},               // avg not power of two
+		{MinSize: 256, AvgSize: 128, MaxSize: 400},             // min >= avg
+		{MinSize: 1, AvgSize: 128, MaxSize: 128},               // max <= avg
 		{MinSize: 1, AvgSize: 128, MaxSize: 400, NormLevel: 9}, // level >= log2(avg)
 	}
 	for i, c := range bad {
@@ -147,7 +197,7 @@ func TestDifferentialAgainstReference(t *testing.T) {
 	configs := []*Config{
 		mustConfig(t, Config{}),
 		mustConfig(t, Config{MinSize: 64, AvgSize: 256, MaxSize: 1024, NormLevel: 2}),
-		mustConfig(t, Config{MinSize: 64, AvgSize: 256, MaxSize: 1024, NormLevel: 0}),
+		mustConfig(t, Config{MinSize: 64, AvgSize: 256, MaxSize: 1024, NormLevel: -1}), // normalization disabled
 		mustConfig(t, Config{MinSize: 512, AvgSize: 4096, MaxSize: 8192, NormLevel: 3}),
 	}
 	for ci, cfg := range configs {

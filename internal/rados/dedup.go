@@ -49,6 +49,14 @@ const manifestMagic = "\x00MLGY-DEDUP-v1\n"
 // HashSize is the block address width (SHA-256).
 const HashSize = sha256.Size
 
+// maxManifestLen bounds the total length a manifest may claim and the
+// length of any single chunk. Manifest bytes arrive from clients and
+// are decoded server-side in applyOp, so every header field is
+// attacker-controlled: without this cap a uvarint near 2^63 survives
+// the int conversion as a negative length and panics whoever sizes a
+// buffer from it (ReadDeduped, cls dedup.info).
+const maxManifestLen = 1<<31 - 1
+
 // BlockName returns the object name addressing content.
 func BlockName(content []byte) string {
 	sum := sha256.Sum256(content)
@@ -99,12 +107,22 @@ func DecodeManifest(data []byte) (m *Manifest, ok bool, err error) {
 	if n <= 0 {
 		return nil, true, fmt.Errorf("rados: manifest: bad total length")
 	}
+	if total > maxManifestLen {
+		return nil, true, fmt.Errorf("rados: manifest: total length %d exceeds limit %d", total, int64(maxManifestLen))
+	}
 	rest = rest[n:]
 	count, n := binary.Uvarint(rest)
 	if n <= 0 {
 		return nil, true, fmt.Errorf("rados: manifest: bad chunk count")
 	}
 	rest = rest[n:]
+	// Every chunk costs at least HashSize+1 encoded bytes, so a count the
+	// remaining bytes cannot hold is truncation — reject it before it
+	// sizes the allocation below (a forged ~30-byte manifest claiming
+	// 2^60 chunks must not drive makeslice).
+	if count > uint64(len(rest))/(HashSize+1) {
+		return nil, true, fmt.Errorf("rados: manifest: chunk count %d exceeds remaining %d bytes", count, len(rest))
+	}
 	m = &Manifest{TotalLen: int(total), Chunks: make([]ManifestChunk, 0, count)}
 	sum := 0
 	for i := uint64(0); i < count; i++ {
@@ -118,9 +136,17 @@ func DecodeManifest(data []byte) (m *Manifest, ok bool, err error) {
 		if n <= 0 {
 			return nil, true, fmt.Errorf("rados: manifest: bad length at chunk %d", i)
 		}
+		if l > maxManifestLen {
+			return nil, true, fmt.Errorf("rados: manifest: chunk %d length %d exceeds limit", i, l)
+		}
 		rest = rest[n:]
 		c.Len = int(l)
 		sum += c.Len
+		// sum grows by at most maxManifestLen per chunk and is checked
+		// every iteration, so it can never overflow int.
+		if sum > maxManifestLen {
+			return nil, true, fmt.Errorf("rados: manifest: chunk lengths exceed limit %d", int64(maxManifestLen))
+		}
 		m.Chunks = append(m.Chunks, c)
 	}
 	if len(rest) != 0 {

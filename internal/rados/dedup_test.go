@@ -2,6 +2,7 @@ package rados
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -106,6 +107,48 @@ func TestManifestRoundTrip(t *testing.T) {
 	bad.TotalLen = 999
 	if _, _, err := DecodeManifest(EncodeManifest(&bad)); err == nil {
 		t.Fatal("length mismatch must fail decode")
+	}
+}
+
+// TestDecodeManifestHostileInputs feeds forged manifest headers through
+// the decoder. Manifests arrive from clients and are decoded server-side
+// in applyOp, so every field is attacker-controlled: a huge chunk count
+// must not size an allocation, and lengths near 2^63 must not survive
+// the int conversion as negatives. Each case must error, not panic.
+func TestDecodeManifestHostileInputs(t *testing.T) {
+	header := func(fields ...uint64) []byte {
+		buf := []byte(manifestMagic)
+		for _, f := range fields {
+			buf = binary.AppendUvarint(buf, f)
+		}
+		return buf
+	}
+	oneChunk := func(total, length uint64) []byte {
+		buf := header(total, 1)
+		buf = append(buf, make([]byte, HashSize)...)
+		return binary.AppendUvarint(buf, length)
+	}
+	twoChunks := func(total, l1, l2 uint64) []byte {
+		buf := header(total, 2)
+		buf = append(buf, make([]byte, HashSize)...)
+		buf = binary.AppendUvarint(buf, l1)
+		buf = append(buf, make([]byte, HashSize)...)
+		return binary.AppendUvarint(buf, l2)
+	}
+	cases := map[string][]byte{
+		"chunk count 2^60":        header(100, 1<<60),
+		"total length 2^63":       header(1<<63, 1),
+		"chunk length 2^62":       oneChunk(10, 1<<62),
+		"sum exceeding the limit": twoChunks(1<<31-1, 1<<31-1, 1<<31-1),
+	}
+	for name, data := range cases {
+		m, isManifest, err := DecodeManifest(data)
+		if !isManifest {
+			t.Errorf("%s: magic not recognized", name)
+		}
+		if err == nil {
+			t.Errorf("%s: decoded without error: %+v", name, m)
+		}
 	}
 }
 
@@ -374,6 +417,41 @@ func TestDedupGraceBlocksPrematureReclaim(t *testing.T) {
 	}
 	if _, err := tc.client.Read(ctx, "data", name); err == nil {
 		t.Fatal("orphan block still readable after reclaim")
+	}
+}
+
+// TestDedupReclaimNeedsTwoSweeps pins the failover guard: the touch
+// clock is primary-local, so a nonzero-grace reclaim must see the block
+// unreferenced on two consecutive sweeps of the same primary — a
+// grace-expired touch alone (which is all a just-failed-over primary
+// inherits) must not reclaim on the first scan.
+func TestDedupReclaimNeedsTwoSweeps(t *testing.T) {
+	tc := bootCluster(t, 2, 2)
+	ctx := ctxT(t, 10*time.Second)
+	content := []byte("block with a stale touch clock")
+	name := BlockName(content)
+	rep, err := tc.client.do(ctx, OpRequest{Pool: "data", Object: name, Op: OpBlockWrite, Data: content})
+	if err != nil || rep.Result != OK {
+		t.Fatalf("write: %v / %v", err, rep.Result)
+	}
+	// Backdate the touch clock everywhere, as a failover leaves it: old
+	// on the new primary, with the client's probe lost with the old one.
+	m := tc.client.CachedMap()
+	pgid := PGID{Pool: "data", PG: PGForObject(name, m.Pools["data"].PGNum)}
+	for _, o := range tc.osds {
+		e := o.getPG(pgid).entry(name)
+		e.mu.Lock()
+		e.touch = time.Now().Add(-time.Hour)
+		e.mu.Unlock()
+	}
+	if _, reclaimed := sweepAll(tc, time.Millisecond); reclaimed != 0 {
+		t.Fatalf("first sweep reclaimed %d blocks; the first qualifying scan must only mark", reclaimed)
+	}
+	if _, err := tc.client.Read(ctx, "data", name); err != nil {
+		t.Fatalf("block gone after one sweep: %v", err)
+	}
+	if _, reclaimed := sweepAll(tc, time.Millisecond); reclaimed != 1 {
+		t.Fatal("second consecutive sweep did not reclaim the orphan")
 	}
 }
 

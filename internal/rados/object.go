@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/types"
 )
 
 // Object is the RADOS storage unit: a bytestream, a sorted key-value
@@ -119,6 +121,14 @@ type objEntry struct {
 	// referencing it. Primary-local and deliberately outside the scrub
 	// digest — replicas need not agree on it.
 	touch time.Time // guarded by mu
+	// gcSweep/gcEpoch record the reclaim scan (OSD.gcSweepN) and map
+	// epoch at which this primary last saw the block unreferenced and
+	// grace-expired. Because touch is primary-local, a failed-over
+	// primary inherits a stale clock; requiring a second qualifying
+	// observation — same primary, same epoch, a later sweep — re-opens
+	// a full grace window after any failover before a block can go.
+	gcSweep uint64      // guarded by mu
+	gcEpoch types.Epoch // guarded by mu
 }
 
 // signalLocked wakes version-order waiters. Caller holds e.mu.
@@ -198,6 +208,28 @@ func (p *pg) entries() []*objEntry {
 	out := make([]*objEntry, 0, len(names))
 	for _, n := range names {
 		out = append(out, p.objects[n])
+	}
+	return out
+}
+
+// tombstones returns the versions of the PG's deleted slots (obj ==
+// nil with a nonzero version). A Force backfill ships them alongside
+// the live snapshot so the receiver can order its own entries against
+// the sender's deletions instead of purging blindly.
+func (p *pg) tombstones() map[string]uint64 {
+	p.mu.Lock()
+	slots := make(map[string]*objEntry, len(p.objects))
+	for name, e := range p.objects {
+		slots[name] = e
+	}
+	p.mu.Unlock()
+	out := make(map[string]uint64)
+	for name, e := range slots {
+		e.mu.Lock()
+		if e.obj == nil && e.ver > 0 {
+			out[name] = e.ver
+		}
+		e.mu.Unlock()
 	}
 	return out
 }

@@ -64,7 +64,9 @@ type OSDConfig struct {
 	// references before reclaim. It must exceed the window between a
 	// client's OpBlockStat and its manifest write, or an in-flight
 	// WriteDeduped can lose a block it was told exists. Zero means the
-	// default.
+	// default. When the background loop is enabled, a grace at or below
+	// GCInterval cannot cover even one delta-delivery sweep and is
+	// clamped up to 2*GCInterval.
 	GCGrace time.Duration
 }
 
@@ -80,6 +82,12 @@ func (c *OSDConfig) defaults() {
 	}
 	if c.GCGrace <= 0 {
 		c.GCGrace = 2 * time.Second
+	}
+	if c.GCInterval > 0 && c.GCGrace <= c.GCInterval {
+		// The stat-to-incref window the grace protects spans at least one
+		// sweep period (deltas only move when the sweeper runs), so a
+		// grace the interval swallows would reclaim blocks mid-write.
+		c.GCGrace = 2 * c.GCInterval
 	}
 }
 
@@ -126,6 +134,11 @@ type OSD struct {
 	gcMu  sync.Mutex
 	refQ  []refDelta // guarded by gcMu
 	gcSeq atomic.Uint64
+	// gcSweepN numbers this daemon's reclaim scans; blocks record the
+	// sweep that last saw them unreferenced (objEntry.gcSweep) so a
+	// reclaim needs two consecutive observations by the same primary —
+	// the failover guard in reclaimCandidates.
+	gcSweepN atomic.Uint64
 
 	// Lifecycle: Stop -> Start is a supported restart cycle (the crashed
 	// daemon rejoining the cluster); stopCh is replaced on each Start so
@@ -435,26 +448,54 @@ func (o *OSD) applyBackfill(b backfillMsg) {
 		return
 	}
 	// Force makes the sender authoritative for the whole PG, deletions
-	// included. Tombstones are invisible to digests and snapshots, so the
-	// push above cannot carry one; a live object here that the sender has
-	// deleted (or never saw) would re-diverge scrub on every pass.
+	// included: a live object here that the sender has deleted would
+	// re-diverge scrub on every pass. But "not in the push" alone is not
+	// proof of deletion — a forward for an object created after the
+	// sender's scan can apply here before this pass, and purging it
+	// would re-diverge the replica the other way. So deletions are
+	// ordered: a name the sender's Tombstones map carries is deleted
+	// only when the local version does not exceed the tombstone's (a
+	// newer local mutation means a forward raced the scan), and a name
+	// the sender has no slot for at all is purged only once it has sat
+	// unmutated past forcePurgeGrace, long enough that no forward from
+	// the scan-time window can still be in flight.
 	p.mu.Lock()
-	var extra []*objEntry
+	extra := make(map[string]*objEntry)
 	for name, e := range p.objects {
 		if !pushed[name] {
-			extra = append(extra, e)
+			extra[name] = e
 		}
 	}
 	p.mu.Unlock()
-	for _, e := range extra {
+	for name, e := range extra {
+		tombVer, known := b.Tombstones[name]
 		e.mu.Lock()
-		if e.obj != nil {
+		switch {
+		case e.obj == nil:
+			// Already deleted locally; nothing to order.
+		case known && e.ver <= tombVer:
+			// Adopt the sender's tombstone at its version so later
+			// forwards keep their PrevVersion ordering.
+			e.obj = nil
+			e.ver = tombVer
+			e.signalLocked()
+		case known:
+			// Local state is newer than the sender's scan; the next
+			// scrub pass re-compares against fresher state.
+		case time.Since(e.touch) >= forcePurgeGrace:
 			e.obj = nil
 			e.bumpLocked()
 		}
 		e.mu.Unlock()
 	}
 }
+
+// forcePurgeGrace is how long a replica-only object with no ordering
+// information (the Force sender has no slot for its name) must sit
+// unmutated before a Force pass purges it. The replication fan-out
+// delivers forwards within milliseconds, so anything older is genuine
+// divergence, not a racing create.
+const forcePurgeGrace = 2 * time.Second
 
 // replayCacheSize bounds the per-daemon replay cache; old entries are
 // evicted first-in-first-out.
@@ -662,9 +703,10 @@ func (o *OSD) scrubOnce() {
 				o.mu.Lock()
 				o.scrubRepairs++
 				o.mu.Unlock()
-				objs := o.getPG(id).snapshot()
+				p := o.getPG(id)
 				o.net.Send(o.Addr(), OSDAddr(peer), backfillMsg{
-					Pool: id.Pool, PG: id.PG, Objects: objs, Epoch: m.Epoch, Force: true,
+					Pool: id.Pool, PG: id.PG, Objects: p.snapshot(), Epoch: m.Epoch,
+					Force: true, Tombstones: p.tombstones(),
 				})
 				ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
 				o.monc.Log(ctx2, "warn", fmt.Sprintf("scrub repaired %s on osd.%d", id, peer)) //nolint:errcheck

@@ -173,7 +173,16 @@ type reclaimCand struct {
 }
 
 // reclaimCandidates scans the PGs this daemon leads for blocks with
-// zero references whose last touch is older than grace.
+// zero references whose last touch is older than grace. The touch
+// clock is primary-local (deliberately unreplicated), so after a
+// failover the new primary's clock may predate a client's OpBlockStat
+// on the old one; a nonzero-grace reclaim therefore also requires that
+// *this* primary already saw the block unreferenced on an earlier
+// sweep at the current map epoch — the first qualifying observation
+// only marks the slot, opening a fresh grace period of at least one
+// sweep interval after any primary change. A zero grace skips the
+// two-sweep rule: it is the quiesced-cluster mode harnesses drive
+// explicitly, where no write can be in flight.
 func (o *OSD) reclaimCandidates(grace time.Duration) []reclaimCand {
 	o.mu.Lock()
 	m := o.osdMap
@@ -182,6 +191,7 @@ func (o *OSD) reclaimCandidates(grace time.Duration) []reclaimCand {
 		pgids = append(pgids, id)
 	}
 	o.mu.Unlock()
+	sweep := o.gcSweepN.Add(1)
 
 	var out []reclaimCand
 	for _, id := range pgids {
@@ -195,9 +205,15 @@ func (o *OSD) reclaimCandidates(grace time.Duration) []reclaimCand {
 		}
 		for _, e := range o.getPG(id).entries() {
 			e.mu.Lock()
-			if e.obj != nil && IsBlockName(e.obj.Name) &&
-				blockRefs(e.obj) == 0 && time.Since(e.touch) >= grace {
-				out = append(out, reclaimCand{pool: id.Pool, block: e.obj.Name})
+			if e.obj != nil && IsBlockName(e.obj.Name) {
+				switch {
+				case blockRefs(e.obj) != 0 || time.Since(e.touch) < grace:
+					e.gcSweep = 0 // disqualified; any future reclaim starts over
+				case grace == 0 || (e.gcEpoch == m.Epoch && e.gcSweep > 0 && e.gcSweep < sweep):
+					out = append(out, reclaimCand{pool: id.Pool, block: e.obj.Name})
+				default:
+					e.gcSweep, e.gcEpoch = sweep, m.Epoch
+				}
 			}
 			e.mu.Unlock()
 		}

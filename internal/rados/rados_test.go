@@ -636,6 +636,56 @@ func TestScrubRepairsDivergence(t *testing.T) {
 	}
 }
 
+// TestForceBackfillOrdersDeletions pins the Force purge discipline: a
+// scrub repair deletes an entry the push omitted only when it can order
+// the deletion — via the sender's tombstone version, or, for names the
+// sender never saw, after the entry has sat unmutated past the purge
+// grace. A just-applied forward (the create that raced the sender's
+// scan) must survive.
+func TestForceBackfillOrdersDeletions(t *testing.T) {
+	o := NewOSD(wire.NewNetwork(), OSDConfig{ID: 0})
+	p := o.getPG(PGID{Pool: "data", PG: 0})
+	mk := func(name string, ver uint64, age time.Duration) *objEntry {
+		e := p.entry(name)
+		e.mu.Lock()
+		obj := e.materializeLocked(name)
+		obj.Data = []byte(name)
+		e.ver = ver
+		obj.Version = ver
+		e.touch = time.Now().Add(-age)
+		e.mu.Unlock()
+		return e
+	}
+	// A forward applied after the sender's scan: live, fresh, unknown to
+	// the sender.
+	newborn := mk("newborn", 1, 0)
+	// Genuine divergence: unknown to the sender and long unmutated.
+	stale := mk("stale", 3, time.Minute)
+	// Deleted by the sender at version 5; local version 4 predates it.
+	deleted := mk("deleted", 4, time.Minute)
+	// Rewritten locally (version 9) after the sender's tombstone at 7.
+	rewritten := mk("rewritten", 9, time.Minute)
+
+	o.applyBackfill(backfillMsg{
+		Pool: "data", PG: 0, Force: true,
+		Tombstones: map[string]uint64{"deleted": 5, "rewritten": 7},
+	})
+
+	check := func(e *objEntry, wantLive bool, wantVer uint64, what string) {
+		t.Helper()
+		e.mu.Lock()
+		live, ver := e.obj != nil, e.ver
+		e.mu.Unlock()
+		if live != wantLive || ver != wantVer {
+			t.Errorf("%s: live=%v ver=%d, want live=%v ver=%d", what, live, ver, wantLive, wantVer)
+		}
+	}
+	check(newborn, true, 1, "racing create")
+	check(stale, false, 4, "unordered stale divergence") // purge bumps 3 -> 4
+	check(deleted, false, 5, "tombstoned by sender")     // adopts the tombstone version
+	check(rewritten, true, 9, "locally newer than tombstone")
+}
+
 func TestGossipPropagatesMapWithLimitedFanout(t *testing.T) {
 	// Monitor pushes to only 1 subscriber; the rest must learn the new
 	// epoch via OSD-to-OSD gossip (Section 4.4 / Figure 8 pipeline).

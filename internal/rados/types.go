@@ -202,6 +202,12 @@ type backfillMsg struct {
 	// Force replaces objects regardless of version; used by scrub repair
 	// where the primary's copy is authoritative.
 	Force bool
+	// Tombstones carries, for Force pushes, the sender's deleted slots
+	// and their versions at scan time. The receiver's deletion pass
+	// orders its own entries against these instead of purging every
+	// name the push omitted — a forward for a just-created object that
+	// lands between the sender's scan and the pass must survive.
+	Tombstones map[string]uint64
 }
 
 // scrubMsg asks a replica for a digest of its PG contents.
