@@ -26,22 +26,28 @@ vet:
 
 # Domain-aware static analysis (internal/analysis): epochguard,
 # lockblock, errdrop, sleepsync, ctxleak, fieldguard, goleak, chanlife,
-# plus the cross-package protocol passes lockorder, rpcflow, retrysafe.
+# the cross-package protocol passes lockorder, rpcflow, retrysafe, and
+# the ownership/aliasing passes cowalias, poolsafe, sendshare.
 # Fails on any unsuppressed finding; suppressions require
 # //lint:ignore <pass> <reason> and are budgeted by TestWaiverBudget.
+# The time budget is a smoke check that the 14-pass suite stays fast
+# enough for the edit loop; a typical run is ~2s, so 3m only trips on a
+# pathological slowdown (the JSON report records elapsed_ms).
+LINT_BUDGET ?= 3m
+
 lint:
-	$(GO) run ./cmd/malacolint ./...
+	$(GO) run ./cmd/malacolint -timebudget $(LINT_BUDGET) ./...
 
 # Same gate, but the findings land in malacolint-report.json (CI uploads
 # it as an artifact). Still fails the build on any finding.
 lint-json:
-	$(GO) run ./cmd/malacolint -json ./... > malacolint-report.json; \
+	$(GO) run ./cmd/malacolint -json -timebudget $(LINT_BUDGET) ./... > malacolint-report.json; \
 	status=$$?; cat malacolint-report.json; exit $$status
 
 # The JSON gate plus a SARIF 2.1.0 log for code-scanning upload; witness
 # chains land as relatedLocations.
 lint-sarif:
-	$(GO) run ./cmd/malacolint -json -sarif malacolint.sarif ./... > malacolint-report.json; \
+	$(GO) run ./cmd/malacolint -json -sarif malacolint.sarif -timebudget $(LINT_BUDGET) ./... > malacolint-report.json; \
 	status=$$?; cat malacolint-report.json; exit $$status
 
 # Fast pre-gate: the whole program is still loaded (cross-package facts
@@ -52,7 +58,7 @@ lint-diff:
 
 # The analyzers' own golden-fixture tests plus the waiver budget.
 lint-fixtures:
-	$(GO) test -count=1 -run 'TestEpochGuard|TestLockBlock|TestErrDrop|TestSleepSync|TestCtxLeak|TestFieldGuard|TestGoLeak|TestChanLife|TestLockOrder|TestRPCFlow|TestRetrySafe|TestCrossPackageFacts|TestSARIF|TestDedupe|TestWaiverBudget|TestMalformedSuppression' ./internal/analysis
+	$(GO) test -count=1 -run 'TestEpochGuard|TestLockBlock|TestErrDrop|TestSleepSync|TestCtxLeak|TestFieldGuard|TestGoLeak|TestChanLife|TestLockOrder|TestRPCFlow|TestRetrySafe|TestCowAlias|TestPoolSafe|TestSendShare|TestCrossPackageFacts|TestSARIF|TestDedupe|TestWaiverBudget|TestMalformedSuppression' ./internal/analysis
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -106,7 +112,7 @@ cover:
 	$(GO) test -count=1 -coverprofile=coverage.out \
 		./internal/wire/ ./internal/rados/ ./internal/paxos/ \
 		./internal/mon/ ./internal/mds/ ./internal/zlog/ \
-		./internal/script/ ./internal/cdc/
+		./internal/script/ ./internal/cdc/ ./internal/analysis/
 	$(GO) run ./cmd/covercheck -profile coverage.out
 
 # Bench-regression gate: rerun the PR 2 and PR 3 benchmark pairs and

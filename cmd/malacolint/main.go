@@ -6,7 +6,7 @@
 // Usage:
 //
 //	malacolint [-passes epochguard,errdrop] [-list] [-json] [-waivers]
-//	           [-sarif out.sarif] [-diff ref] [packages]
+//	           [-sarif out.sarif] [-diff ref] [-timebudget 3m] [packages]
 //
 // -json prints the findings (or, with -waivers, the waiver list) as a
 // machine-readable report on stdout; CI archives it as a build
@@ -17,6 +17,10 @@
 // findings to packages with files changed since the given git ref —
 // the whole program is still loaded, so cross-package passes keep
 // their global facts — which makes a fast pre-gate for large trees.
+// -timebudget fails the run (exit 1) when load + analysis exceed the
+// given duration: a smoke check that keeps the pass suite fast enough
+// to stay in the edit loop. The JSON report records the measured
+// suite runtime as elapsed_ms either way.
 //
 // The package patterns default to ./... and are resolved by `go list`
 // relative to the current directory.
@@ -30,6 +34,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -59,6 +64,7 @@ func main() {
 		waiversFlag = flag.Bool("waivers", false, "list //lint:ignore waivers instead of running the analyzers")
 		sarifFlag   = flag.String("sarif", "", "also write findings as a SARIF 2.1.0 log to this path")
 		diffFlag    = flag.String("diff", "", "report only findings in packages changed since this git ref")
+		budgetFlag  = flag.Duration("timebudget", 0, "fail if load + analysis exceed this wall-clock duration (0 disables)")
 	)
 	flag.Parse()
 
@@ -98,6 +104,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "malacolint: %v\n", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	pkgs, err := analysis.Load(cwd, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "malacolint: %v\n", err)
@@ -149,6 +156,7 @@ func main() {
 		}
 	}
 	diags = analysis.Dedupe(analysis.ApplySuppressions(pkgs, diags))
+	elapsed := time.Since(start)
 
 	if *diffFlag != "" {
 		dirs, err := changedDirs(cwd, *diffFlag)
@@ -178,9 +186,10 @@ func main() {
 
 	if *jsonFlag {
 		report := struct {
-			Findings []jsonFinding `json:"findings"`
-			Count    int           `json:"count"`
-		}{Findings: []jsonFinding{}, Count: len(diags)}
+			Findings  []jsonFinding `json:"findings"`
+			Count     int           `json:"count"`
+			ElapsedMS int64         `json:"elapsed_ms"`
+		}{Findings: []jsonFinding{}, Count: len(diags), ElapsedMS: elapsed.Milliseconds()}
 		for _, d := range diags {
 			report.Findings = append(report.Findings, jsonFinding{
 				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
@@ -199,8 +208,17 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	fail := false
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "malacolint: %d finding(s)\n", len(diags))
+		fail = true
+	}
+	if *budgetFlag > 0 && elapsed > *budgetFlag {
+		fmt.Fprintf(os.Stderr, "malacolint: pass suite took %s, over the %s time budget\n",
+			elapsed.Round(time.Millisecond), *budgetFlag)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -7,6 +7,12 @@
 // fields only touched with their mutex held (fieldguard), goroutines
 // with a real termination path (goleak), and safe channel lifecycles —
 // no send-after-close, double-close, or spinning selects (chanlife).
+// On top of the cross-package protocol passes (lockorder, rpcflow,
+// retrysafe), a shared value-flow/ownership engine (valueflow.go)
+// backs three aliasing passes: cowalias (copy-on-write stored state is
+// never written in place or aliased to caller buffers), poolsafe
+// (sync.Pool handle lifecycles), and sendshare (RPC buffers are not
+// mutated after the send).
 // The cmd/malacolint driver runs every pass over the repository;
 // `make lint` wires it into the CI gate.
 //
@@ -52,6 +58,9 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Name string
 	Doc  string
+	// Help is the long-form rule description surfaced as the SARIF
+	// fullDescription/help text; empty falls back to Doc.
+	Help string
 	// Scope restricts which packages the driver applies the pass to;
 	// nil means every loaded package. Tests bypass it.
 	Scope func(pkgPath string) bool
@@ -72,6 +81,9 @@ func Passes() []*Pass {
 		NewLockOrder(),
 		NewRPCFlow(),
 		NewRetrySafe(),
+		NewCowAlias(),
+		NewPoolSafe(),
+		NewSendShare(),
 	}
 }
 

@@ -103,6 +103,36 @@ func TestRPCFlow(t *testing.T) { runFixture(t, NewRPCFlow(), "rpcflow") }
 
 func TestRetrySafe(t *testing.T) { runFixture(t, NewRetrySafe(), "retrysafe") }
 
+func TestCowAlias(t *testing.T) { runFixture(t, NewCowAlias(), "cowalias") }
+
+func TestPoolSafe(t *testing.T) { runFixture(t, NewPoolSafe(), "poolsafe") }
+
+func TestSendShare(t *testing.T) { runFixture(t, NewSendShare(), "sendshare") }
+
+// TestCowAliasWitnessChain pins the ownership witness: the
+// alias-then-mutate finding must carry the read site (where the stored
+// alias was taken) as a related position, so the SARIF output shows
+// alloc/read → alias → mutation, not just the final write.
+func TestCowAliasWitnessChain(t *testing.T) {
+	pkg := loadFixture(t, "cowalias")
+	idx := NewIndex([]*Package{pkg})
+	diags := NewCowAlias().Run(pkg, idx)
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "element write") || len(d.Related) == 0 {
+			continue
+		}
+		for _, r := range d.Related {
+			if strings.Contains(r.Note, "copy-on-write state") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no element-write finding carries the copy-on-write read site in its witness chain: %v", diags)
+	}
+}
+
 // TestLockOrderWitnessIsMultiHop pins the shape of the cycle report:
 // the reverse edge of the fixture's cycle is taken through two call
 // hops, and the witness chain in the message must spell those hops
@@ -229,10 +259,16 @@ func TestWaiverBudget(t *testing.T) {
 	// unless this table changes in review. The three protocol passes
 	// (lockorder, rpcflow, retrysafe) are deliberately capped at zero:
 	// their findings are fixed, never waived.
+	// The ownership passes (cowalias, poolsafe, sendshare) are pinned
+	// at zero explicitly, like the protocol passes: an aliasing finding
+	// is fixed with a clone or a lifecycle change, never waived.
 	perPassBudget := map[string]int{
 		"errdrop":   9,
 		"lockblock": 1,
 		"sleepsync": 4,
+		"cowalias":  0,
+		"poolsafe":  0,
+		"sendshare": 0,
 	}
 	byPass := make(map[string]int)
 	var internalN, exampleN int

@@ -37,8 +37,10 @@ func SARIF(diags []Diagnostic, relPath func(string) string) ([]byte, error) {
 		RelatedLocations []location `json:"relatedLocations,omitempty"`
 	}
 	type ruleDesc struct {
-		ID               string  `json:"id"`
-		ShortDescription message `json:"shortDescription"`
+		ID               string   `json:"id"`
+		ShortDescription message  `json:"shortDescription"`
+		FullDescription  *message `json:"fullDescription,omitempty"`
+		Help             *message `json:"help,omitempty"`
 	}
 	type driver struct {
 		Name           string     `json:"name"`
@@ -63,7 +65,17 @@ func SARIF(diags []Diagnostic, relPath func(string) string) ([]byte, error) {
 	// rules is an array, never null).
 	rules := []ruleDesc{}
 	for _, p := range Passes() {
-		rules = append(rules, ruleDesc{ID: p.Name, ShortDescription: message{Text: p.Doc}})
+		rd := ruleDesc{ID: p.Name, ShortDescription: message{Text: p.Doc}}
+		// Help is the long-form rule contract (what the discipline is,
+		// which idioms satisfy it); passes without one fall back to Doc
+		// so every rule still carries a fullDescription.
+		long := p.Help
+		if long == "" {
+			long = p.Doc
+		}
+		rd.FullDescription = &message{Text: long}
+		rd.Help = &message{Text: long}
+		rules = append(rules, rd)
 	}
 	results := []result{}
 	loc := func(file string, line, col int, note string) location {

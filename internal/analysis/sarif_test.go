@@ -14,7 +14,16 @@ type sarifLog struct {
 			Driver struct {
 				Name  string `json:"name"`
 				Rules []struct {
-					ID string `json:"id"`
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+					FullDescription struct {
+						Text string `json:"text"`
+					} `json:"fullDescription"`
+					Help struct {
+						Text string `json:"text"`
+					} `json:"help"`
 				} `json:"rules"`
 			} `json:"driver"`
 		} `json:"tool"`
@@ -102,6 +111,80 @@ func TestSARIFCarriesWitnessChains(t *testing.T) {
 	}
 	if multiHop == 0 {
 		t.Error("no result carries a multi-step witness in relatedLocations")
+	}
+}
+
+// TestSARIFOwnershipRules renders the cowalias fixture findings and
+// pins the ownership-pass contract in the SARIF artifact: the three
+// new rules carry long-form fullDescription/help text (the clone-idiom
+// contract, not just the one-liner), and an aliasing finding's witness
+// chain — the site the stored alias was read, the local alias, the
+// mutation — survives as relatedLocations.
+func TestSARIFOwnershipRules(t *testing.T) {
+	pkg := loadFixture(t, "cowalias")
+	idx := NewIndex([]*Package{pkg})
+	diags := NewCowAlias().Run(pkg, idx)
+	if len(diags) == 0 {
+		t.Fatal("cowalias fixture produced no diagnostics")
+	}
+	out, err := SARIF(diags, func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	run := log.Runs[0]
+
+	long := map[string]string{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.FullDescription.Text != r.Help.Text {
+			t.Errorf("rule %s: fullDescription and help diverge", r.ID)
+		}
+		long[r.ID] = r.FullDescription.Text
+	}
+	for rule, marker := range map[string]string{
+		"cowalias":  "append([]byte(nil), src...)",
+		"poolsafe":  "use-after",
+		"sendshare": "req.Epoch",
+	} {
+		txt, ok := long[rule]
+		if !ok {
+			t.Errorf("missing rule %q in driver rules", rule)
+			continue
+		}
+		if len(txt) < 200 {
+			t.Errorf("rule %q fullDescription is not long-form (%d chars)", rule, len(txt))
+		}
+		if !strings.Contains(txt, marker) && rule != "poolsafe" {
+			t.Errorf("rule %q fullDescription lacks contract marker %q:\n%s", rule, marker, txt)
+		}
+	}
+
+	// The alias-then-mutate finding must ship its ownership witness:
+	// at least one related location whose note names the copy-on-write
+	// read plus the local alias step.
+	witnessed := false
+	for _, r := range run.Results {
+		if r.RuleID != "cowalias" || len(r.RelatedLocations) < 2 {
+			continue
+		}
+		var hasRead, hasAlias bool
+		for _, rel := range r.RelatedLocations {
+			if strings.Contains(rel.Message.Text, "copy-on-write state") {
+				hasRead = true
+			}
+			if strings.Contains(rel.Message.Text, "aliased as") {
+				hasAlias = true
+			}
+		}
+		if hasRead && hasAlias {
+			witnessed = true
+		}
+	}
+	if !witnessed {
+		t.Error("no cowalias result carries the read-site + alias-step ownership witness in relatedLocations")
 	}
 }
 

@@ -1,0 +1,522 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewSendShare checks that buffers handed across a wire RPC are not
+// mutated afterwards. A request struct is copied by value at the call,
+// but its slice and map fields share backing with the receiver — which
+// on the in-process fabric reads them concurrently — and a reply handed
+// to the replay cache is retained verbatim for future duplicate
+// answers. Scalar field writes on the local copy (the retry loop's
+// req.Epoch refresh) are safe and not flagged; writes through shared
+// backing (element writes, copy-into, self-append, map inserts) are.
+func NewSendShare() *Pass {
+	p := &Pass{
+		Name: "sendshare",
+		Doc:  "mutation of a request/reply buffer after it was handed to a wire RPC or retained by the replay cache",
+		Help: "wire.Call copies the request struct but not the backing arrays of its " +
+			"slice and map fields: after the call is issued the receiver (and the " +
+			"replay cache, for retained replies) reads those buffers concurrently. " +
+			"This pass marks every buffer reachable from a wire Call/Send argument — " +
+			"and every argument a callee summary says is retained in stored state — " +
+			"as sent, then flags element writes, copy-into, append-in-place, and map " +
+			"inserts through them. Rebinding a field or variable to a fresh value " +
+			"(req = OpRequest{...}, req.Data = newBuf) is safe and clears the mark; " +
+			"scalar field writes like the retry loop's req.Epoch refresh never flag.",
+		Scope: inPrefix("repro/internal/"),
+	}
+
+	var (
+		cached *Index
+		byPkg  map[string][]Diagnostic
+	)
+	p.Run = func(pkg *Package, idx *Index) []Diagnostic {
+		if idx != cached {
+			byPkg = sendShareAll(idx)
+			cached = idx
+		}
+		return byPkg[pkg.Path]
+	}
+	return p
+}
+
+// sentInfo records why a path is considered shared.
+type sentInfo struct {
+	pos  token.Position
+	note string
+}
+
+type ssState struct {
+	roots map[string]sentInfo
+	// cleared shadows an ancestor root: req.Data rebound to a fresh
+	// clone is no longer shared even though req itself was sent.
+	cleared map[string]bool
+}
+
+func newSSState() *ssState {
+	return &ssState{roots: make(map[string]sentInfo), cleared: make(map[string]bool)}
+}
+
+func (st *ssState) clone() *ssState {
+	c := newSSState()
+	for k, v := range st.roots {
+		c.roots[k] = v
+	}
+	for k := range st.cleared {
+		c.cleared[k] = true
+	}
+	return c
+}
+
+func (st *ssState) merge(other *ssState) {
+	for k, v := range other.roots {
+		if _, ok := st.roots[k]; !ok {
+			st.roots[k] = v
+		}
+	}
+	// A path is safely cleared only if every rejoining arm cleared it.
+	for k := range st.cleared {
+		if !other.cleared[k] {
+			delete(st.cleared, k)
+		}
+	}
+}
+
+// sentPrefix returns the root covering path, if any: the path itself,
+// or an ancestor expression it was read from. A cleared entry at any
+// level shadows roots above it.
+func (st *ssState) sentPrefix(path string) (string, sentInfo, bool) {
+	p := path
+	for {
+		if st.cleared[p] {
+			return "", sentInfo{}, false
+		}
+		if info, ok := st.roots[p]; ok {
+			return p, info, true
+		}
+		i := strings.LastIndexAny(p, ".[")
+		if i < 0 {
+			return "", sentInfo{}, false
+		}
+		p = p[:i]
+	}
+}
+
+// kill records that path was rebound: marks at or below it no longer
+// apply, and an ancestor mark is shadowed for this subtree.
+func (st *ssState) kill(path string) {
+	for k := range st.roots {
+		if k == path || strings.HasPrefix(k, path+".") || strings.HasPrefix(k, path+"[") {
+			delete(st.roots, k)
+		}
+	}
+	for k := range st.cleared {
+		if strings.HasPrefix(k, path+".") || strings.HasPrefix(k, path+"[") {
+			delete(st.cleared, k)
+		}
+	}
+	st.cleared[path] = true
+}
+
+// root marks path as shared, un-shadowing it and its subtree.
+func (st *ssState) root(path string, info sentInfo) {
+	for k := range st.cleared {
+		if k == path || strings.HasPrefix(k, path+".") || strings.HasPrefix(k, path+"[") {
+			delete(st.cleared, k)
+		}
+	}
+	st.roots[path] = info
+}
+
+type ssScanner struct {
+	pkg   *Package
+	sums  map[string]*funcEffect
+	diags *[]Diagnostic
+	seen  map[string]bool
+}
+
+func (s *ssScanner) report(pos token.Pos, msg string, info sentInfo) {
+	p := s.pkg.position(pos)
+	key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	*s.diags = append(*s.diags, Diagnostic{
+		Pos: p, Pass: "sendshare", Message: msg,
+		Related: []Related{{Pos: info.pos, Note: info.note}},
+	})
+}
+
+func sendShareAll(idx *Index) map[string][]Diagnostic {
+	sums := effectsFor(idx)
+	byPkg := make(map[string][]Diagnostic)
+	for _, name := range sortedDeclNames(idx) {
+		fd := idx.decls[name]
+		if fd.Decl.Body == nil {
+			continue
+		}
+		diags := byPkg[fd.Pkg.Path]
+		s := &ssScanner{pkg: fd.Pkg, sums: sums, diags: &diags, seen: make(map[string]bool)}
+		s.scanStmts(fd.Decl.Body.List, newSSState())
+		byPkg[fd.Pkg.Path] = diags
+	}
+	for path := range byPkg {
+		d := byPkg[path]
+		sort.Slice(d, func(i, j int) bool { return posLess(d[i].Pos, d[j].Pos) })
+		byPkg[path] = Dedupe(d)
+	}
+	return byPkg
+}
+
+// pathOf renders an expression as a root path when it is a trackable
+// chain of selectors/indexes off a local identifier.
+func pathOf(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := pathOf(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := pathOf(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "[" + types.ExprString(x.Index) + "]", true
+	}
+	return "", false
+}
+
+// sharesBacking reports whether a value of type t aliases backing
+// storage when copied (slice, map, or pointer — or a struct containing
+// them, which the by-value RPC request is).
+func sharesBacking(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if sharesBacking(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *ssScanner) scanStmts(list []ast.Stmt, st *ssState) bool {
+	for _, stmt := range list {
+		if s.scanStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *ssScanner) scanStmt(stmt ast.Stmt, st *ssState) bool {
+	switch x := stmt.(type) {
+	case *ast.AssignStmt:
+		s.scanAssign(x, st)
+	case *ast.ExprStmt:
+		s.scanExpr(x.X, st)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			s.scanExpr(r, st)
+		}
+		return true
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		s.scanExpr(x.Cond, st)
+		body := st.clone()
+		bodyTerm := s.scanStmts(x.Body.List, body)
+		elseSt := st.clone()
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = s.scanStmt(x.Else, elseSt)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *body
+		default:
+			body.merge(elseSt)
+			*st = *body
+		}
+	case *ast.BlockStmt:
+		return s.scanStmts(x.List, st)
+	case *ast.LabeledStmt:
+		return s.scanStmt(x.Stmt, st)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			s.scanExpr(x.Cond, st)
+		}
+		// Two rounds: a send at the loop bottom is live when control
+		// reaches the top again, so the second round catches
+		// top-of-body mutations of loop-carried sent buffers.
+		for round := 0; round < 2; round++ {
+			s.scanStmts(x.Body.List, st)
+			if x.Post != nil {
+				s.scanStmt(x.Post, st)
+			}
+		}
+	case *ast.RangeStmt:
+		s.scanExpr(x.X, st)
+		for round := 0; round < 2; round++ {
+			s.scanStmts(x.Body.List, st)
+		}
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			s.scanExpr(x.Tag, st)
+		}
+		s.scanCases(x.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, st)
+		}
+		s.scanCases(x.Body.List, st)
+	case *ast.SelectStmt:
+		s.scanCases(x.Body.List, st)
+	case *ast.GoStmt:
+		s.scanExpr(x.Call, st)
+	case *ast.DeferStmt:
+		s.scanExpr(x.Call, st)
+	case *ast.SendStmt:
+		s.scanExpr(x.Chan, st)
+		s.scanExpr(x.Value, st)
+	case *ast.IncDecStmt:
+		if ix, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
+			s.checkMutation("element write", ix.X, x.Pos(), st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (s *ssScanner) scanCases(clauses []ast.Stmt, st *ssState) {
+	var merged *ssState
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				s.scanStmt(cc.Comm, st.clone())
+			}
+			body = cc.Body
+		default:
+			continue
+		}
+		arm := st.clone()
+		if s.scanStmts(body, arm) {
+			continue
+		}
+		if merged == nil {
+			merged = arm
+		} else {
+			merged.merge(arm)
+		}
+	}
+	if merged != nil {
+		merged.merge(st)
+		*st = *merged
+	}
+}
+
+func (s *ssScanner) scanAssign(x *ast.AssignStmt, st *ssState) {
+	for _, r := range x.Rhs {
+		s.scanExpr(r, st)
+	}
+	for i, lhs := range x.Lhs {
+		var rhs ast.Expr
+		if i < len(x.Rhs) && len(x.Rhs) == len(x.Lhs) {
+			rhs = x.Rhs[i]
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			kind := "element write into"
+			if t := s.pkg.Info.TypeOf(l.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					kind = "map insert into"
+				}
+			}
+			s.checkMutation(kind, l.X, x.Pos(), st)
+		case *ast.Ident, *ast.SelectorExpr:
+			path, ok := pathOf(l)
+			if !ok {
+				continue
+			}
+			// Self-append grows in place when capacity allows: the
+			// receiver's view is overwritten.
+			if rhs != nil && isSelfAppend(rhs, path) {
+				if root, info, sent := st.sentPrefix(path); sent {
+					s.report(x.Pos(), fmt.Sprintf("append to %s after %s was handed to the RPC layer; growth within capacity overwrites the shared backing array — build a fresh slice instead", path, root), info)
+					continue
+				}
+			}
+			// Rebinding replaces the local header only: safe, and the
+			// old mark no longer applies to this path.
+			st.kill(path)
+			// Aliasing a sent buffer propagates the mark.
+			if rhs != nil {
+				if rp, ok := pathOf(rhs); ok {
+					if _, info, sent := st.sentPrefix(rp); sent {
+						if t := s.pkg.Info.TypeOf(rhs); t != nil && sharesBacking(t) {
+							st.root(path, info)
+						}
+					}
+				}
+			}
+		case *ast.StarExpr:
+			s.scanExpr(l.X, st)
+		}
+	}
+}
+
+// isSelfAppend matches path = append(path, ...).
+func isSelfAppend(rhs ast.Expr, path string) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	ap, ok := pathOf(call.Args[0])
+	return ok && ap == path
+}
+
+func (s *ssScanner) checkMutation(kind string, base ast.Expr, pos token.Pos, st *ssState) {
+	path, ok := pathOf(base)
+	if !ok {
+		return
+	}
+	if root, info, sent := st.sentPrefix(path); sent {
+		s.report(pos, fmt.Sprintf("%s %s after %s was handed to the RPC layer; the receiver reads this backing concurrently — clone before mutating or rebind to a fresh buffer", kind, path, root), info)
+	}
+}
+
+// scanExpr walks an expression: wire sends and retaining callees mark
+// their arguments; copy() through a sent buffer is a mutation; nested
+// function literals run inline (a goroutine's send races the parent's
+// later writes).
+func (s *ssScanner) scanExpr(e ast.Expr, st *ssState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			s.scanStmts(x.Body.List, st)
+			return false
+		case *ast.CallExpr:
+			s.checkCall(x, st)
+		}
+		return true
+	})
+}
+
+func (s *ssScanner) checkCall(call *ast.CallExpr, st *ssState) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := s.pkg.Info.ObjectOf(id).(*types.Builtin); isB {
+			if b.Name() == "copy" && len(call.Args) > 0 {
+				s.checkMutation("copy into", call.Args[0], call.Pos(), st)
+			}
+			return
+		}
+	}
+	fn := Callee(s.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	if isWireSend(fn) {
+		for _, arg := range call.Args[1:] {
+			s.markSent(arg, call.Pos(), "handed to "+fn.Name()+" here", st)
+		}
+		return
+	}
+	if sum := s.sums[fn.FullName()]; sum != nil {
+		for p := range sum.stores {
+			if p < 0 || p >= len(call.Args) {
+				continue
+			}
+			s.markSent(call.Args[p], call.Pos(), "retained in stored state by "+shortName(fn.FullName())+" here", st)
+		}
+	}
+}
+
+// isWireSend matches the wire transport entry points: a method named
+// Call or Send whose first parameter is a context.Context.
+func isWireSend(fn *types.Func) bool {
+	if fn.Name() != "Call" && fn.Name() != "Send" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// markSent roots the argument's mutable reach: a trackable path, or the
+// identifier fields of a composite literal built in place.
+func (s *ssScanner) markSent(arg ast.Expr, pos token.Pos, note string, st *ssState) {
+	info := sentInfo{pos: s.pkg.position(pos), note: note}
+	a := ast.Unparen(arg)
+	if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		a = ast.Unparen(u.X)
+	}
+	if lit, ok := a.(*ast.CompositeLit); ok {
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if p, ok := pathOf(kv.Value); ok {
+				if t := s.pkg.Info.TypeOf(kv.Value); t != nil && sharesBacking(t) {
+					st.root(p, info)
+				}
+			}
+		}
+		return
+	}
+	if p, ok := pathOf(a); ok {
+		if t := s.pkg.Info.TypeOf(a); t != nil && sharesBacking(t) {
+			st.root(p, info)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Fixture for the sendshare pass: buffers handed to a wire RPC (or
+// retained by a replay-cache-style callee) must not be mutated after
+// the call is issued. The fabric stands in for internal/wire; request
+// mirrors the by-value rados.OpRequest whose slice/map fields share
+// backing with the receiver.
+package sendshare
+
+import "context"
+
+type addr string
+
+type fabric struct{}
+
+func (f *fabric) Call(ctx context.Context, from, to addr, req any) (any, error) {
+	return req, nil
+}
+
+type request struct {
+	Epoch int
+	Data  []byte
+	KV    map[string][]byte
+}
+
+type node struct {
+	net   *fabric
+	cache map[string]request
+}
+
+// retain stores the request in long-lived state, like the OSD replay
+// cache retains replies.
+func (n *node) retain(key string, req request) {
+	n.cache[key] = req
+}
+
+// ---- findings ----
+
+// mutateAfterSend writes the payload the receiver is reading.
+func (n *node) mutateAfterSend(ctx context.Context, req request) {
+	_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	req.Data[0] = 1 // want "element write into req.Data"
+}
+
+// mapInsertAfterSend grows the shared map under the receiver.
+func (n *node) mapInsertAfterSend(ctx context.Context, req request) {
+	_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	req.KV["k"] = []byte("v") // want "map insert into req.KV"
+}
+
+// copyAfterSend overwrites the shared backing wholesale.
+func (n *node) copyAfterSend(ctx context.Context, req request, buf []byte) {
+	_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	copy(req.Data, buf) // want "copy into req.Data"
+}
+
+// appendAfterSend grows within capacity: the receiver's view is
+// overwritten even though the local header is rebound.
+func (n *node) appendAfterSend(ctx context.Context, buf []byte) {
+	_, _ = n.net.Call(ctx, addr("a"), addr("b"), request{Data: buf})
+	buf = append(buf, 0) // want "append to buf"
+	_ = buf
+}
+
+// mutateRetained scribbles on a buffer a callee retained in stored
+// state (found through the callee's ownership summary).
+func (n *node) mutateRetained(key string, req request) {
+	n.retain(key, req)
+	req.Data[0] = 1 // want "element write into req.Data"
+}
+
+// goSend issues the call from a goroutine; the parent's later write
+// races it.
+func (n *node) goSend(ctx context.Context, req request) {
+	go func() {
+		_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	}()
+	req.Data[0] = 1 // want "element write into req.Data"
+}
+
+// resendLoop mutates a loop-carried buffer that was sent on the
+// previous iteration.
+func (n *node) resendLoop(ctx context.Context, req request) {
+	for i := 0; i < 3; i++ {
+		req.Data = append(req.Data, byte(i)) // want "append to req.Data"
+		_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	}
+}
+
+// ---- clean ----
+
+// epochRetry is the client retry loop: a scalar field write touches
+// only the local copy of the by-value request, never shared backing.
+func (n *node) epochRetry(ctx context.Context, req request) {
+	for i := 0; i < 3; i++ {
+		req.Epoch = i
+		_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	}
+}
+
+// rebindFresh replaces the payload with a fresh clone after the send;
+// the old mark no longer covers the rebound field.
+func (n *node) rebindFresh(ctx context.Context, req request) {
+	_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	req.Data = append([]byte(nil), req.Data...)
+	req.Data[0] = 1
+}
+
+// freshPerSend builds a new request per iteration.
+func (n *node) freshPerSend(ctx context.Context, data []byte) {
+	for i := 0; i < 3; i++ {
+		req := request{Data: append([]byte(nil), data...)}
+		_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+	}
+}
+
+// prepThenSend mutates freely before the call is issued.
+func (n *node) prepThenSend(ctx context.Context, req request) {
+	req.Data = append([]byte(nil), req.Data...)
+	req.Data[0] = 1
+	_, _ = n.net.Call(ctx, addr("a"), addr("b"), req)
+}

@@ -167,6 +167,12 @@ type OpRequest struct {
 }
 
 // OpReply carries the result of an OpRequest.
+//
+// Replies are retained verbatim by the primary's replay cache, so the
+// copy-on-write discipline documented on Object extends to them: Data,
+// KV values, and Keys may alias stored object state and must never be
+// written in place — a handler that wants a scratch buffer must clone
+// first (the cowalias pass machine-checks this).
 type OpReply struct {
 	Result  ResultCode
 	Detail  string
