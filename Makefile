@@ -65,9 +65,10 @@ bench:
 
 # One iteration of every benchmark so they cannot rot; part of ci.
 # internal/script rides along for the VM microbenches, internal/cdc for
-# the chunker throughput bench.
+# the chunker throughput bench, internal/wal for the group-commit and
+# replay benches.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/script/ ./internal/cdc/
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/script/ ./internal/cdc/ ./internal/wal/
 
 # Record the serial-vs-batched append comparison (PR 2's acceptance
 # numbers) in BENCH_pr2.json, the serial-vs-pipelined replicated
@@ -77,7 +78,10 @@ bench-smoke:
 # allocation criterion is recorded) in BENCH_pr7.json, and the
 # flat-vs-deduped write pair plus the chunker throughput (PR 8's) in
 # BENCH_pr8.json — floors pin the acceptance criteria (50%-dup corpus
-# ships <= 0.6x the flat bytes; chunker >= 500 MB/s single-core).
+# ships <= 0.6x the flat bytes; chunker >= 500 MB/s single-core) — and
+# the WAL fsync-batching sweep plus replay throughput (PR 10's) in
+# BENCH_pr10.json (floors: group commit >= 3x at batch 64 vs batch 1,
+# replay >= 100 MB/s).
 bench-json:
 	$(GO) test -run=^$$ -bench='^BenchmarkZLogAppend(Serial|Batch)$$' -benchtime=1s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_pr2.json
@@ -93,13 +97,18 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_pr8.json \
 			-floor dedup_ratio_50=1.667 -floor chunker_mbps=500
 	@cat BENCH_pr8.json
+	$(GO) test -run=^$$ -bench='^BenchmarkWAL(Append|Replay)$$' -benchtime=1s ./internal/wal/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_pr10.json \
+			-floor wal_group_commit_speedup=3.0 -floor wal_replay_mbps=100
+	@cat BENCH_pr10.json
 
 # Cluster-wide fault injection: boots a full cluster per scenario,
 # injects the seeded fault script under client load, and audits the
 # global invariants after heal. A failure prints the exact repro
-# command and writes chaos-report.txt (CI uploads it).
+# command and writes chaos-report.txt plus the WAL-backed scenarios'
+# journal directories under chaos-wal/ (CI uploads both).
 chaos:
-	$(GO) run ./cmd/chaos -scenario $(SCENARIO) -seed $(SEED) -artifact chaos-report.txt
+	$(GO) run ./cmd/chaos -scenario $(SCENARIO) -seed $(SEED) -artifact chaos-report.txt -waldir chaos-wal
 
 # The same invariants exercised under the race detector (plus the
 # determinism and broken-recovery fixtures).
@@ -112,7 +121,8 @@ cover:
 	$(GO) test -count=1 -coverprofile=coverage.out \
 		./internal/wire/ ./internal/rados/ ./internal/paxos/ \
 		./internal/mon/ ./internal/mds/ ./internal/zlog/ \
-		./internal/script/ ./internal/cdc/ ./internal/analysis/
+		./internal/script/ ./internal/cdc/ ./internal/analysis/ \
+		./internal/wal/
 	$(GO) run ./cmd/covercheck -profile coverage.out
 
 # Bench-regression gate: rerun the PR 2 and PR 3 benchmark pairs and
@@ -130,5 +140,8 @@ bench-compare:
 	  $(GO) test -run=^$$ -bench='^BenchmarkChunker$$' -benchtime=1s ./internal/cdc/ ; } \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pr8.json -tolerance 0.30 \
 			-floor dedup_ratio_50=1.667 -floor chunker_mbps=500
+	$(GO) test -run=^$$ -bench='^BenchmarkWAL(Append|Replay)$$' -benchtime=1s ./internal/wal/ \
+		| $(GO) run ./cmd/benchjson -compare BENCH_pr10.json -tolerance 0.30 \
+			-floor wal_group_commit_speedup=3.0 -floor wal_replay_mbps=100
 
 ci: build vet lint-sarif lint-fixtures race bench-smoke chaos cover bench-compare

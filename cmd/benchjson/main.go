@@ -54,7 +54,11 @@ type Result struct {
 // WriteFlat's wire bytes by WriteDeduped/dupNN's (PR-8 criterion:
 // dedup_ratio_50 >= 1.667, i.e. the 50%-dup corpus ships <= 0.6x the
 // flat bytes); ChunkerMBps is the cdc chunker's single-core throughput
-// (PR-8 criterion: >= 500).
+// (PR-8 criterion: >= 500). WALGroupCommitSpeedup divides
+// WALAppend/batch1's ns/op by WALAppend/batch64's (PR-10 criterion:
+// >= 3x — 64 concurrent appenders amortize fsyncs via the sync-leader
+// batch); WALReplayMBps is the journal replay throughput (PR-10
+// criterion: >= 100).
 type Summary struct {
 	Benchmarks                     []Result `json:"benchmarks"`
 	SpeedupBatchOverSerial         float64  `json:"speedup_batch_over_serial,omitempty"`
@@ -66,6 +70,8 @@ type Summary struct {
 	DedupRatio50                   float64  `json:"dedup_ratio_50,omitempty"`
 	DedupRatio75                   float64  `json:"dedup_ratio_75,omitempty"`
 	ChunkerMBps                    float64  `json:"chunker_mbps,omitempty"`
+	WALGroupCommitSpeedup          float64  `json:"wal_group_commit_speedup,omitempty"`
+	WALReplayMBps                  float64  `json:"wal_replay_mbps,omitempty"`
 }
 
 // benchHead matches the name and iteration count; the measurement
@@ -142,7 +148,7 @@ func Summarize(results []Result) Summary {
 	s := Summary{Benchmarks: results}
 	var serial, batch, wserial, wpipe, interp, vm, oclegacy, ocwarm float64
 	var oclegacyAllocs, ocwarmAllocs int64
-	var flatWire float64
+	var flatWire, walB1, walB64 float64
 	dup := make(map[string]float64)
 	for _, r := range results {
 		switch r.Name {
@@ -170,6 +176,12 @@ func Summarize(results []Result) Summary {
 			dup[strings.TrimPrefix(r.Name, "WriteDeduped/dup")] = dedupWire(r)
 		case "Chunker":
 			s.ChunkerMBps = r.Metrics["MB/s"]
+		case "WALAppend/batch1":
+			walB1 = r.NsPerOp
+		case "WALAppend/batch64":
+			walB64 = r.NsPerOp
+		case "WALReplay":
+			s.WALReplayMBps = r.Metrics["MB/s"]
 		}
 	}
 	if serial > 0 && batch > 0 {
@@ -186,6 +198,9 @@ func Summarize(results []Result) Summary {
 	}
 	if oclegacyAllocs > 0 && ocwarmAllocs > 0 {
 		s.AllocRatioOpCallLegacyOverWarm = float64(oclegacyAllocs) / float64(ocwarmAllocs)
+	}
+	if walB1 > 0 && walB64 > 0 {
+		s.WALGroupCommitSpeedup = walB1 / walB64
 	}
 	if flatWire > 0 {
 		if d := dup["25"]; d > 0 {
@@ -234,9 +249,13 @@ func speedups(s Summary) []metric {
 	if s.DedupRatio75 > 0 {
 		out = append(out, metric{"dedup_ratio_75", s.DedupRatio75})
 	}
-	// ChunkerMBps is deliberately absent: it is absolute single-core
-	// throughput, which swings with host load, so the relative-drop
-	// compare would flap. Its gate is the absolute -floor (>= 500).
+	if s.WALGroupCommitSpeedup > 0 {
+		out = append(out, metric{"wal_group_commit_speedup", s.WALGroupCommitSpeedup})
+	}
+	// ChunkerMBps and WALReplayMBps are deliberately absent: they are
+	// absolute single-core throughputs, which swing with host load, so
+	// the relative-drop compare would flap. Their gates are the absolute
+	// -floor values (>= 500 and >= 100).
 	return out
 }
 
@@ -246,6 +265,9 @@ func derivedMetrics(s Summary) []metric {
 	out := speedups(s)
 	if s.ChunkerMBps > 0 {
 		out = append(out, metric{"chunker_mbps", s.ChunkerMBps})
+	}
+	if s.WALReplayMBps > 0 {
+		out = append(out, metric{"wal_replay_mbps", s.WALReplayMBps})
 	}
 	return out
 }

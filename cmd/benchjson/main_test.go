@@ -296,6 +296,48 @@ func TestCheckFloors(t *testing.T) {
 	}
 }
 
+const walSample = `goos: linux
+pkg: repro/internal/wal
+BenchmarkWALAppend/batch1   	    7926	    152268 ns/op	   1.68 MB/s
+BenchmarkWALAppend/batch8-8 	   28175	     42610 ns/op	   6.01 MB/s
+BenchmarkWALAppend/batch64  	   50708	     23663 ns/op	  10.82 MB/s
+BenchmarkWALReplay-8        	      66	  17904692 ns/op	2498.84 MB/s
+PASS
+ok  	repro/internal/wal	6.5s
+`
+
+// TestSummarizeWALMetrics pins the PR-10 derived metrics: the group
+// commit speedup pairs batch1/batch64 ns/op (the ratio compare gates
+// it), and the replay throughput is floor-only like the chunker's.
+func TestSummarizeWALMetrics(t *testing.T) {
+	results, err := Parse(strings.NewReader(walSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	s := Summarize(results)
+	if want := 152268.0 / 23663.0; math.Abs(s.WALGroupCommitSpeedup-want) > 1e-9 {
+		t.Fatalf("wal_group_commit_speedup = %f, want %f", s.WALGroupCommitSpeedup, want)
+	}
+	if s.WALReplayMBps != 2498.84 {
+		t.Fatalf("wal_replay_mbps = %f, want 2498.84", s.WALReplayMBps)
+	}
+	if got := speedups(s); len(got) != 1 || got[0].name != "wal_group_commit_speedup" {
+		t.Fatalf("speedups = %+v, want only wal_group_commit_speedup", got)
+	}
+	lines, err := CheckFloors(s, map[string]float64{
+		"wal_group_commit_speedup": 3.0, "wal_replay_mbps": 100,
+	})
+	if err != nil {
+		t.Fatalf("floors that hold failed: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if _, err := CheckFloors(s, map[string]float64{"wal_group_commit_speedup": 100}); err == nil {
+		t.Fatal("unreachable speedup floor passed")
+	}
+}
+
 // TestFloorFlagParsing covers the repeatable -floor name=value flag.
 func TestFloorFlagParsing(t *testing.T) {
 	f := floorFlags{}

@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-plan seed; same (scenario, seed) replays the same run")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	artifact := flag.String("artifact", "", "on failure, write the full report here (CI uploads it)")
+	waldir := flag.String("waldir", "", "root directory for WAL-backed scenarios' journals; a failing run keeps its journals there (CI uploads them)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-scenario wall-clock budget")
 	verbose := flag.Bool("v", false, "stream the event log while running")
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 
 	failed := false
 	for _, name := range names {
-		opts := chaos.Options{Scenario: name, Seed: *seed}
+		opts := chaos.Options{Scenario: name, Seed: *seed, WALRoot: *waldir}
 		if *verbose {
 			opts.Out = os.Stderr
 		}

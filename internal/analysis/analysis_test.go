@@ -375,6 +375,10 @@ func TestCrossPackageFacts(t *testing.T) {
 	}
 
 	facts := classifyOps(idx)
+	// These expectations double as the worst-wins merge test: the WAL
+	// backend's recordOp encoder switches over the same op enum with
+	// trivially-overwrite case bodies, and must not displace applyOp's
+	// real classifications.
 	if f := facts["repro/internal/rados.OpAppend"]; f.class != classRMW {
 		t.Errorf("OpAppend pre-upgrade class = %v, want %v", f.class, classRMW)
 	}

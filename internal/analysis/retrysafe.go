@@ -160,7 +160,11 @@ type opSwitch struct {
 
 // classifyOps finds every dispatch switch over a named integer op enum
 // whose tag is a field selector on a request struct, and classifies
-// each case's constants.
+// each case's constants. When a constant appears in more than one such
+// switch (the apply dispatch plus, say, a journal-encoder or metrics
+// switch over the same enum), the most severe classification wins: a
+// benign-looking secondary switch must not launder a read-modify-write
+// op into an overwrite.
 func classifyOps(idx *Index) map[string]opFact {
 	facts := make(map[string]opFact)
 	for _, name := range sortedDeclNames(idx) {
@@ -197,7 +201,11 @@ func classifyOps(idx *Index) map[string]opFact {
 					if !ok || c.Pkg() == nil {
 						continue
 					}
-					facts[c.Pkg().Path()+"."+c.Name()] = opFact{
+					key := c.Pkg().Path() + "." + c.Name()
+					if prev, seen := facts[key]; seen && prev.class >= class {
+						continue
+					}
+					facts[key] = opFact{
 						class:    class,
 						detail:   detail,
 						switchFn: os.fn,

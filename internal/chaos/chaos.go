@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -49,6 +51,19 @@ type Options struct {
 	// the knob exists so fixture tests can prove the sealed-epoch
 	// invariant checker catches the bug.
 	SkipSealOnRecovery bool
+	// SkipReconcileOnReplay deliberately breaks the WAL-recovery path:
+	// the rebuilt daemon replays its journal but skips the
+	// reconciliation pass that re-derives the crash-destroyed ref-delta
+	// queue. Real recoveries must never do this — the knob exists so
+	// fixture tests can prove the dedup-refs-clean checker catches the
+	// resulting leaked/dangling references.
+	SkipReconcileOnReplay bool
+	// WALRoot, when set, is the directory under which WAL-backed
+	// scenarios place their per-run journal directories
+	// (<root>/<scenario>-seed<seed>/osd.<id>); a failing run keeps its
+	// directory there for CI artifact upload. Empty means a temp
+	// directory removed unconditionally at the end of the run.
+	WALRoot string
 	// Out, when set, receives the event stream as it happens (verbose
 	// mode for the CLI); the Result carries the full log regardless.
 	Out io.Writer
@@ -277,6 +292,39 @@ func (c *crew) go_(fn func(stop <-chan struct{})) {
 func (c *crew) halt() {
 	close(c.stop)
 	c.wg.Wait()
+}
+
+// walRoot prepares the on-disk root for a WAL-backed scenario's
+// journal directories. With no WALRoot configured the root is a temp
+// directory removed unconditionally by cleanup; with one configured it
+// lives at <root>/<scenario>-seed<seed> and cleanup keeps it when the
+// run recorded violations, so CI uploads the journals that reproduce
+// the failure alongside the report. Call cleanup after the cluster
+// stops.
+func (r *run) walRoot() (dir string, cleanup func(), err error) {
+	if r.opts.WALRoot == "" {
+		dir, err = os.MkdirTemp("", "chaos-wal-")
+		if err != nil {
+			return "", nil, err
+		}
+		return dir, func() { os.RemoveAll(dir) }, nil
+	}
+	dir = filepath.Join(r.opts.WALRoot, fmt.Sprintf("%s-seed%d", r.opts.Scenario, r.opts.Seed))
+	if err := os.RemoveAll(dir); err != nil {
+		return "", nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", nil, err
+	}
+	cleanup = func() {
+		r.mu.Lock()
+		failed := len(r.violations) > 0
+		r.mu.Unlock()
+		if !failed {
+			os.RemoveAll(dir)
+		}
+	}
+	return dir, cleanup, nil
 }
 
 // sortedKeys returns m's keys in stable order (for deterministic

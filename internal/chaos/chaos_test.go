@@ -105,6 +105,32 @@ func TestBrokenRecoveryIsCaught(t *testing.T) {
 	}
 }
 
+// TestBrokenReplayIsCaught is the checker-of-the-checker fixture for
+// the durable backend: a WAL recovery that skips reconciliation loses
+// the crash-destroyed ref-delta queue, and the dedup audit must flag
+// the resulting stale refsets. Whether the victim held queued deltas at
+// the kill depends on the seed's fault plan, so the fixture sweeps a
+// few seeds and requires the checker to fire on at least one.
+func TestBrokenReplayIsCaught(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 4 && !found; seed++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+		res, err := Run(ctx, Options{Scenario: "process-crash", Seed: seed, SkipReconcileOnReplay: true})
+		cancel()
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			if strings.HasPrefix(v, "dedup-refs-clean:") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("broken replay (no reconciliation) was never flagged by dedup-refs-clean across seeds 1..4")
+	}
+}
+
 // TestValidateCapHistory pins the capability auditor on synthetic
 // histories: legal alternation passes; double grants and non-holder
 // releases fail.
@@ -154,8 +180,8 @@ func TestUnknownScenario(t *testing.T) {
 // TestScenarioMetadata keeps the registry self-describing.
 func TestScenarioMetadata(t *testing.T) {
 	names := Scenarios()
-	if len(names) < 6 {
-		t.Fatalf("only %d scenarios registered, acceptance floor is 6", len(names))
+	if len(names) < 7 {
+		t.Fatalf("only %d scenarios registered, acceptance floor is 7", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {

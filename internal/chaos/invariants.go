@@ -264,6 +264,27 @@ func (r *run) checkDedupGC(ctx context.Context, pool string) {
 	r.pass(check)
 }
 
+// checkWALReplay audits the rebuilt daemon's startup report: the kill
+// must have actually exercised the recovery path, or the scenario's
+// pass would be vacuous. No restored records means the daemon came back
+// empty-handed; no torn bytes means the abandon was not mid-write; a
+// skipped record means the journal held an undecodable entry — silent
+// data loss the frame CRCs exist to surface, never acceptable on a
+// journal this process wrote itself.
+func (r *run) checkWALReplay(rep rados.ReplayReport) {
+	const check = "wal-replayed"
+	switch {
+	case rep.Records == 0 && rep.CheckpointRecords == 0:
+		r.fail(check, "replay restored no records; the crash never exercised the journal")
+	case rep.TornBytes == 0:
+		r.fail(check, "no torn tail truncated; the kill was not mid-write")
+	case rep.Skipped > 0:
+		r.fail(check, fmt.Sprintf("%d journal records undecodable", rep.Skipped))
+	default:
+		r.pass(check)
+	}
+}
+
 // checkAppendsDurable verifies the shared-log contract for every
 // acknowledged append: its position holds exactly the acked payload,
 // and no two acks (across all appenders) share a position. Position
@@ -444,7 +465,13 @@ func (r *run) checkCapHistories() {
 // regression: each daemon's epoch, and each individual monitor's
 // serving epoch, must be non-decreasing.
 type mapWatcher struct {
-	r         *run
+	r *run
+	// osds pins the boot-time daemon set: RebuildOSD swaps a fresh
+	// daemon into the cluster slice on the scenario goroutine while this
+	// watcher polls, so the watcher reads its own stable snapshot. A
+	// crashed daemon's epoch simply freezes (monotone), and the rebuilt
+	// daemon is audited by the post-heal checkers.
+	osds      []*rados.OSD
 	lastMon   []types.Epoch
 	lastMDS   []types.Epoch
 	lastOSD   []types.Epoch
@@ -458,6 +485,7 @@ type mapWatcher struct {
 func (r *run) watchMaps() *mapWatcher {
 	w := &mapWatcher{
 		r:       r,
+		osds:    append([]*rados.OSD(nil), r.cl.OSDs...),
 		lastMon: make([]types.Epoch, len(r.cl.Mons)),
 		lastMDS: make([]types.Epoch, len(r.cl.Mons)),
 		lastOSD: make([]types.Epoch, len(r.cl.OSDs)),
@@ -478,7 +506,7 @@ func (w *mapWatcher) loop() {
 			return
 		default:
 		}
-		for i, o := range w.r.cl.OSDs {
+		for i, o := range w.osds {
 			e := o.Epoch()
 			if e < w.lastOSD[i] {
 				w.regressed = append(w.regressed, fmt.Sprintf("%s map epoch regressed %d -> %d", o.Addr(), w.lastOSD[i], e))

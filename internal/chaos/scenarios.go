@@ -3,6 +3,7 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -49,6 +50,11 @@ var scenarioList = []scenario{
 		name:  "dedup-churn",
 		about: "overwrite deduped objects through an OSD restart, require zero leaked or dangling block refs after GC",
 		fn:    runDedupChurn,
+	},
+	{
+		name:  "process-crash",
+		about: "hard-kill a WAL-backed OSD mid-write (torn tail), rebuild it from the log, require replay + reconciliation to full convergence",
+		fn:    runProcessCrash,
 	},
 }
 
@@ -390,6 +396,116 @@ func runDedupChurn(ctx context.Context, r *run) error {
 	// Reclaims travel the ordinary replicated op path, so a final scrub
 	// pass must still find nothing to repair.
 	r.checkReplicasConverge(ctx)
+	return nil
+}
+
+// walOSD tunes a durably backed daemon for the process-crash scenario:
+// fast gossip, frequent checkpoint compaction, and NO background GC
+// sweeper. The quiet sweeper is what gives the scenario teeth — every
+// ref delta the victim queues before the kill is still parked in its
+// memory when the process dies, so the refsets can only come back
+// through startup reconciliation (the broken-replay fixture skips that
+// pass and must fail the dedup audit). The grace window still dwarfs
+// the down-window, as in dedupOSD.
+func walOSD() rados.OSDConfig {
+	c := fastOSD()
+	c.GCGrace = 2 * time.Second
+	c.CheckpointInterval = 100 * time.Millisecond
+	return c
+}
+
+// runProcessCrash is the durable-backend gate: every daemon journals to
+// a write-ahead log on disk, one is hard-killed mid-write — kill -9
+// semantics: buffered appends drop, the log tail tears, and the
+// in-memory ref-delta queue dies with the process — and a fresh daemon
+// is rebuilt over the same WAL directory. The rebuilt daemon must
+// replay the journal past its last checkpoint, truncate the torn tail,
+// reconcile the queue state the journal does not carry, rejoin, and
+// converge: every acked write (flat and deduped) survives, and the
+// dedup refcount audit comes up clean — which it only does if
+// reconciliation re-derived the dead queue.
+func runProcessCrash(ctx context.Context, r *run) error {
+	root, cleanup, err := r.walRoot()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	cfg := walOSD()
+	cfg.SkipReconcileOnReplay = r.opts.SkipReconcileOnReplay
+	if err := r.boot(core.Options{
+		Mons: 1, OSDs: 4, MDSs: 0,
+		Pools: []string{"data"}, PGNum: 8, Replicas: 3,
+		ProposalInterval: 5 * time.Millisecond,
+		OSD:              cfg,
+		OSDBackend: func(id int) (rados.Backend, error) {
+			return rados.OpenWALBackend(filepath.Join(root, fmt.Sprintf("osd.%d", id)), rados.WALBackendOptions{})
+		},
+	}); err != nil {
+		return err
+	}
+	victim := r.rng.Intn(len(r.cl.OSDs))
+	seed1, seed2 := r.rng.Int63(), r.rng.Int63()
+	w := r.watchMaps()
+	monc := r.cl.NewMonClient("client.chaos.admin")
+	dws := []*dedupWriter{
+		newDedupWriter("d1", r.cl.NewRadosClient("client.chaos.d1"), "data", 3, seed1),
+		newDedupWriter("d2", r.cl.NewRadosClient("client.chaos.d2"), "data", 3, seed2),
+	}
+	rws := []*radosWriter{
+		newRadosWriter("w1", r.cl.NewRadosClient("client.chaos.w1"), "data", 5),
+		newRadosWriter("w2", r.cl.NewRadosClient("client.chaos.w2"), "data", 5),
+	}
+	dedupCrew, radosCrew := newCrew(), newCrew()
+	for _, wr := range dws {
+		wr := wr
+		dedupCrew.go_(func(stop <-chan struct{}) { wr.run(ctx, stop) })
+	}
+	for _, wr := range rws {
+		wr := wr
+		radosCrew.go_(func(stop <-chan struct{}) { wr.run(ctx, stop) })
+	}
+	pause(ctx, 250*time.Millisecond)
+	// The dedup writers stop BEFORE the kill; only the flat-object
+	// writers stream through it. Later overwrites of a deduped object
+	// would re-diff its block set and enqueue fresh, correctly anchored
+	// deltas on whichever daemon is primary then — churn that quietly
+	// re-derives most of what the crash destroyed. Freezing the manifests
+	// first makes the victim's parked queue the *only* source of its
+	// manifests' reference history, so the audit passes if and only if
+	// startup reconciliation rebuilt it.
+	dedupCrew.halt()
+
+	r.event("crash", fmt.Sprintf("osd.%d killed (kill -9: WAL tail torn, ref-delta queue lost)", victim))
+	r.cl.OSDs[victim].Crash()
+	if err := monc.MarkOSDDown(ctx, victim); err != nil {
+		return fmt.Errorf("mark osd.%d down: %w", victim, err)
+	}
+	pause(ctx, 400*time.Millisecond) // degraded writes remap and continue
+
+	r.event("restart", fmt.Sprintf("osd.%d rebuilt from its WAL (replay + reconcile)", victim))
+	if err := r.cl.RebuildOSD(ctx, victim); err != nil {
+		return fmt.Errorf("rebuild osd.%d: %w", victim, err)
+	}
+	rep := r.cl.OSDs[victim].ReplayReport()
+	pause(ctx, 300*time.Millisecond)
+	radosCrew.halt()
+	w.finish()
+
+	monc2 := r.cl.NewMonClient("client.chaos.check")
+	if r.checkEpochsConverge(ctx, monc2) {
+		r.checkReplicasConverge(ctx)
+	}
+	r.checkRadosDurable(ctx, rws...)
+	r.checkDedupDurable(ctx, dws...)
+	r.checkWALReplay(rep)
+	r.checkDedupGC(ctx, "data")
+	// Reclaims travel the ordinary replicated op path, so a final scrub
+	// pass must still find nothing to repair.
+	r.checkReplicasConverge(ctx)
+	// Stop the cluster before the deferred cleanup removes the journal
+	// directories out from under the daemons (Run's own Stop is an
+	// idempotent no-op after this).
+	r.cl.Stop()
 	return nil
 }
 

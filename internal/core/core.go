@@ -62,6 +62,12 @@ type Options struct {
 	MDSBalancer func(rank int) mds.Balancer
 	// OSD carries OSD tuning; ID/Mons are filled per daemon at boot.
 	OSD rados.OSDConfig
+	// OSDBackend, when set, builds a per-daemon persistence backend
+	// (overriding OSD.Backend); each daemon needs its own instance
+	// because a backend owns one WAL directory. The same factory is
+	// reused by RebuildOSD, so a crashed daemon recovers from the same
+	// directory it journaled to.
+	OSDBackend func(id int) (rados.Backend, error)
 }
 
 func (o *Options) defaults() {
@@ -148,6 +154,14 @@ func Boot(ctx context.Context, opts Options) (*Cluster, error) {
 		cfg := opts.OSD
 		cfg.ID = i
 		cfg.Mons = c.monIDs
+		if opts.OSDBackend != nil {
+			be, err := opts.OSDBackend(i)
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("core: backend for osd.%d: %w", i, err)
+			}
+			cfg.Backend = be
+		}
 		osd := rados.NewOSD(c.Net, cfg)
 		if err := osd.Start(ctx); err != nil {
 			c.Stop()
@@ -188,6 +202,35 @@ func (c *Cluster) Stop() {
 	for _, m := range c.Mons {
 		m.Stop()
 	}
+}
+
+// RebuildOSD replaces a crashed daemon with a fresh one recovered from
+// its durable backend: a new backend instance is built from the same
+// factory (and so the same WAL directory), the new daemon replays and
+// reconciles it in Start, and it rejoins the cluster under the same ID.
+// This is the process-restart path — OSD.Crash tears the old daemon's
+// log tail and kills its in-memory state, exactly like kill -9, so
+// restarting the old object would be resurrection, not recovery.
+func (c *Cluster) RebuildOSD(ctx context.Context, id int) error {
+	if id < 0 || id >= len(c.OSDs) {
+		return fmt.Errorf("core: rebuild osd.%d: no such daemon", id)
+	}
+	cfg := c.opts.OSD
+	cfg.ID = id
+	cfg.Mons = c.monIDs
+	if c.opts.OSDBackend != nil {
+		be, err := c.opts.OSDBackend(id)
+		if err != nil {
+			return fmt.Errorf("core: rebuild backend for osd.%d: %w", id, err)
+		}
+		cfg.Backend = be
+	}
+	osd := rados.NewOSD(c.Net, cfg)
+	if err := osd.Start(ctx); err != nil {
+		return fmt.Errorf("core: rebuild osd.%d: %w", id, err)
+	}
+	c.OSDs[id] = osd
+	return nil
 }
 
 // MonIDs returns the monitor ranks (for building clients).

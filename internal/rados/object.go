@@ -212,6 +212,18 @@ func (p *pg) entries() []*objEntry {
 	return out
 }
 
+// slots returns a point-in-time copy of the name→slot map (the slots
+// themselves are shared; lock each before reading its state).
+func (p *pg) slots() map[string]*objEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]*objEntry, len(p.objects))
+	for name, e := range p.objects {
+		out[name] = e
+	}
+	return out
+}
+
 // tombstones returns the versions of the PG's deleted slots (obj ==
 // nil with a nonzero version). A Force backfill ships them alongside
 // the live snapshot so the receiver can order its own entries against

@@ -68,6 +68,17 @@ type OSDConfig struct {
 	// GCInterval cannot cover even one delta-delivery sweep and is
 	// clamped up to 2*GCInterval.
 	GCGrace time.Duration
+	// Backend is the persistence seam (backend.go). Nil means the
+	// non-durable MemBackend: the seed's pure in-memory behavior.
+	Backend Backend
+	// CheckpointInterval is how often a durable backend is polled for
+	// journal compaction (NeedCheckpoint → CheckpointNow); zero
+	// disables the background loop.
+	CheckpointInterval time.Duration
+	// SkipReconcileOnReplay skips the post-replay reconciliation pass.
+	// Broken-replay fixture knob: the chaos harness proves its checkers
+	// catch the resulting dangling dedup references.
+	SkipReconcileOnReplay bool
 }
 
 func (c *OSDConfig) defaults() {
@@ -104,6 +115,12 @@ type OSD struct {
 	rngMu    sync.Mutex
 	watchers *watcherTable
 
+	// backend is the persistence seam, fixed at construction; durable
+	// caches backend.Durable() so the record hooks on the op path can
+	// bail without an interface call.
+	backend Backend
+	durable bool
+
 	mu     sync.Mutex
 	osdMap *types.OSDMap // guarded by mu
 	pgs    map[PGID]*pg  // guarded by mu
@@ -113,6 +130,9 @@ type OSD struct {
 	onClassLive func(name string, version uint64) // guarded by mu
 
 	scrubRepairs int // guarded by mu
+	// replayReport summarizes the last startup replay of a durable
+	// backend (osd_restore.go).
+	replayReport ReplayReport // guarded by mu
 
 	// Replay cache: the recorded reply for each recently applied
 	// client mutation, keyed by (client address, OpID). A resend of an
@@ -147,7 +167,11 @@ type OSD struct {
 	lifeMu  sync.Mutex
 	stopCh  chan struct{} // guarded by lifeMu
 	running bool          // guarded by lifeMu
-	wg      sync.WaitGroup
+	// restored records that the durable backend's log has been replayed
+	// into memory; Start replays once per process, and a graceful
+	// Stop→Start keeps the in-memory state it already has.
+	restored bool // guarded by lifeMu
+	wg       sync.WaitGroup
 }
 
 // NewOSD constructs an OSD bound to the fabric.
@@ -166,6 +190,12 @@ func NewOSD(net *wire.Network, cfg OSDConfig) *OSD {
 		classLive: make(map[string]uint64),
 		stopCh:    make(chan struct{}),
 	}
+	if cfg.Backend != nil {
+		o.backend = cfg.Backend
+	} else {
+		o.backend = MemBackend{}
+	}
+	o.durable = o.backend.Durable()
 	o.gcSeq.Store(clientIncarnation.Add(1) << 40)
 	return o
 }
@@ -212,7 +242,23 @@ func (o *OSD) Start(ctx context.Context) error {
 	o.stopCh = make(chan struct{})
 	o.running = true
 	stop := o.stopCh
+	needRestore := o.durable && !o.restored
+	o.restored = true
 	o.lifeMu.Unlock()
+
+	// Replay the durable backend before taking traffic: the in-memory
+	// index must be rebuilt (and reconciled) before any op or backfill
+	// can observe it.
+	if needRestore {
+		if err := o.restore(); err != nil {
+			o.lifeMu.Lock()
+			o.running = false
+			o.restored = false
+			close(o.stopCh)
+			o.lifeMu.Unlock()
+			return fmt.Errorf("osd.%d: restore: %w", o.cfg.ID, err)
+		}
+	}
 
 	fail := func(err error) error {
 		o.net.Unlisten(o.Addr())
@@ -248,6 +294,10 @@ func (o *OSD) Start(ctx context.Context) error {
 	if o.cfg.GCInterval > 0 {
 		o.wg.Add(1)
 		go o.gcLoop(stop)
+	}
+	if o.durable && o.cfg.CheckpointInterval > 0 {
+		o.wg.Add(1)
+		go o.checkpointLoop(stop)
 	}
 	return nil
 }
@@ -378,6 +428,12 @@ func (o *OSD) splitPool(pool string, m *types.OSDMap) {
 				if e.obj != nil {
 					moved[npg] = append(moved[npg], e.obj.clone())
 				}
+				if o.durable && e.ver > 0 {
+					// The slot leaves this PG entirely; replaying its
+					// earlier records must not resurrect it here.
+					o.backend.Record(Mutation{Kind: RecPurge, Pool: pool, PG: p.id.PG,
+						Object: name, Version: e.ver})
+				}
 				e.mu.Unlock()
 				delete(p.objects, name)
 			}
@@ -396,6 +452,7 @@ func (o *OSD) splitPool(pool string, m *types.OSDMap) {
 			}
 		}
 	}
+	o.commitBackground("split")
 }
 
 // backfillPG pushes this daemon's copy of a PG to acting-set members.
@@ -440,11 +497,16 @@ func (o *OSD) applyBackfill(b backfillMsg) {
 			e.obj = obj.clone()
 			e.ver = obj.Version
 			e.obj.Version = e.ver
+			if o.durable {
+				o.backend.Record(Mutation{Kind: RecSnapshot, Pool: b.Pool, PG: b.PG,
+					Object: obj.Name, Version: e.ver, Force: b.Force, Obj: e.obj})
+			}
 			e.signalLocked()
 		}
 		e.mu.Unlock()
 	}
 	if !b.Force {
+		o.commitBackground("backfill")
 		return
 	}
 	// Force makes the sender authoritative for the whole PG, deletions
@@ -478,6 +540,10 @@ func (o *OSD) applyBackfill(b backfillMsg) {
 			// forwards keep their PrevVersion ordering.
 			e.obj = nil
 			e.ver = tombVer
+			if o.durable {
+				o.backend.Record(Mutation{Kind: RecRemove, Pool: b.Pool, PG: b.PG,
+					Object: name, Version: tombVer})
+			}
 			e.signalLocked()
 		case known:
 			// Local state is newer than the sender's scan; the next
@@ -485,9 +551,14 @@ func (o *OSD) applyBackfill(b backfillMsg) {
 		case time.Since(e.touch) >= forcePurgeGrace:
 			e.obj = nil
 			e.bumpLocked()
+			if o.durable {
+				o.backend.Record(Mutation{Kind: RecRemove, Pool: b.Pool, PG: b.PG,
+					Object: name, Version: e.ver})
+			}
 		}
 		e.mu.Unlock()
 	}
+	o.commitBackground("backfill")
 }
 
 // forcePurgeGrace is how long a replica-only object with no ordering

@@ -2,6 +2,7 @@ package rados
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -74,23 +75,36 @@ func (o *OSD) handleOp(ctx context.Context, from wire.Addr, req OpRequest) OpRep
 
 	p := o.getPG(PGID{Pool: req.Pool, PG: pgnum})
 	if req.Replica {
-		return o.applyReplicaOp(ctx, p, req, m)
+		rep := o.applyReplicaOp(ctx, p, req, m)
+		if rep.Result == OK {
+			if err := o.commitDurable(); err != nil {
+				return OpReply{Result: EIO, Detail: "wal commit: " + err.Error(), Epoch: m.Epoch}
+			}
+		}
+		return rep
 	}
 	if o.cfg.Replication == ReplicateSerial {
 		return o.doSerialOp(ctx, from, p, req, m, acting)
 	}
 
 	// Pipelined primary path: apply locally under the object's own lock,
-	// version-stamp, release the lock, then replicate. Nothing is held
-	// across the replica round-trips — per-object ordering travels in the
-	// version stamps instead of being pinned by a lock.
+	// version-stamp, journal, release the lock, then commit and
+	// replicate. Nothing is held across the fsync or the replica
+	// round-trips — per-object ordering travels in the version stamps
+	// instead of being pinned by a lock.
 	e := p.entry(req.Object)
 	e.mu.Lock()
 	prev := e.ver
 	reply, mutated := o.applyOp(e, req, m)
+	if mutated && reply.Result == OK {
+		o.recordOp(p, e, req)
+	}
 	e.mu.Unlock()
 	reply.Epoch = m.Epoch
 	if mutated && reply.Result == OK {
+		if err := o.commitDurable(); err != nil {
+			return OpReply{Result: EIO, Detail: "wal commit: " + err.Error(), Epoch: m.Epoch}
+		}
 		if req.OpID != 0 {
 			o.replayPut(from, req.OpID, reply)
 		}
@@ -178,9 +192,15 @@ func (o *OSD) doSerialOp(ctx context.Context, from wire.Addr, p *pg, req OpReque
 	e.mu.Lock()
 	prev := e.ver
 	reply, mutated := o.applyOp(e, req, m)
+	if mutated && reply.Result == OK {
+		o.recordOp(p, e, req)
+	}
 	e.mu.Unlock()
 	reply.Epoch = m.Epoch
 	if mutated && reply.Result == OK {
+		if err := o.commitDurable(); err != nil {
+			return OpReply{Result: EIO, Detail: "wal commit: " + err.Error(), Epoch: m.Epoch}
+		}
 		if req.OpID != 0 {
 			o.replayPut(from, req.OpID, reply)
 		}
@@ -230,6 +250,7 @@ func (o *OSD) applyReplicaOp(ctx context.Context, p *pg, req OpRequest, m *types
 		e.mu.Unlock()
 		return reply
 	}
+	preVer := e.ver
 	reply, mutated := o.applyOp(e, req, m)
 	if req.NewVersion > e.ver {
 		// Pin to the primary's stamp so a forced out-of-order apply
@@ -246,6 +267,20 @@ func (o *OSD) applyReplicaOp(ctx context.Context, p *pg, req OpRequest, m *types
 		reply.Version = e.ver
 		if !mutated {
 			e.signalLocked()
+		}
+	}
+	if o.durable && reply.Result == OK {
+		switch {
+		case mutated:
+			// Journal after the pin so the record carries the primary's
+			// stamp, not the transient local one.
+			o.recordOp(p, e, req)
+		case e.ver > preVer:
+			// No-op apply that still pinned the version: replaying the
+			// log must land on the same stamp or later forwards stall at
+			// their PrevVersion wait.
+			o.backend.Record(Mutation{Kind: RecVerPin, Pool: req.Pool, PG: p.id.PG,
+				Object: req.Object, Version: e.ver})
 		}
 	}
 	e.mu.Unlock()
@@ -473,6 +508,77 @@ func objData(e *objEntry) []byte {
 		return nil
 	}
 	return e.obj.Data
+}
+
+// recordOp journals one applied mutation to the durable backend. Caller
+// holds e.mu and guarantees the op mutated with Result OK; the backend
+// encodes synchronously (Backend contract), so passing slices and maps
+// that alias the live object is safe. Records carry post-state (the
+// full bytestream, the final xattr value) rather than op deltas, which
+// makes replay idempotent under the version guard.
+func (o *OSD) recordOp(p *pg, e *objEntry, req OpRequest) {
+	if !o.durable {
+		return
+	}
+	mut := Mutation{Pool: req.Pool, PG: p.id.PG, Object: req.Object, Version: e.ver}
+	switch req.Op {
+	case OpCreate:
+		mut.Kind = RecCreate
+	case OpWriteFull, OpAppend, OpBlockWrite:
+		mut.Kind = RecData
+		mut.Data = objData(e)
+	case OpRemove, OpBlockReclaim:
+		mut.Kind = RecRemove
+	case OpOmapSet:
+		mut.Kind = RecOmapSet
+		mut.KV = req.KV
+	case OpOmapDel:
+		mut.Kind = RecOmapDel
+		mut.Keys = req.Keys
+	case OpSetXattr:
+		mut.Kind = RecXattrSet
+		mut.Key = req.Key
+		mut.Data = e.obj.Xattrs[req.Key]
+	case OpBlockIncref, OpBlockDecref:
+		// The whole mutation is the refset xattr; journaling the block's
+		// (potentially large) bytes again would bloat the log.
+		mut.Kind = RecXattrSet
+		mut.Key = xattrBlockRefs
+		mut.Data = e.obj.Xattrs[xattrBlockRefs]
+	default:
+		// Class calls and anything structural: snapshot the whole object.
+		if e.obj == nil {
+			mut.Kind = RecRemove
+		} else {
+			mut.Kind = RecSnapshot
+			mut.Obj = e.obj
+		}
+	}
+	o.backend.Record(mut)
+}
+
+// commitDurable group-commits the journal; a no-op for MemBackend. Call
+// after releasing slot locks and before acking the client — the ack
+// must imply durability.
+func (o *OSD) commitDurable() error {
+	if !o.durable {
+		return nil
+	}
+	return o.backend.Commit()
+}
+
+// commitBackground commits on paths with no client to fail (backfill,
+// split); an error is logged and the data stays journaled-but-unsynced
+// until the next op commit covers it.
+func (o *OSD) commitBackground(what string) {
+	if !o.durable {
+		return
+	}
+	if err := o.backend.Commit(); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		o.monc.Log(ctx, "warn", fmt.Sprintf("osd.%d: %s wal commit: %v", o.cfg.ID, what, err)) //nolint:errcheck
+		cancel()
+	}
 }
 
 // applyCall executes a class method transactionally. Native methods run
